@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark suite.
+
+Every chart benchmark runs its experiment harness exactly once under
+pytest-benchmark (rounds=1 — these are minutes-long simulations, not
+microbenchmarks), prints the regenerated table, and archives it under
+``benchmarks/results/``.
+
+Set ``REPRO_PAPER_SCALE=1`` to run the charts at the paper's full parameters
+(thousands of subscriptions, 500-1000 events); the default is a scaled-down
+sweep that preserves every qualitative shape and finishes in minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def paper_scale() -> bool:
+    """Whether to run at the paper's full parameters."""
+    return os.environ.get("REPRO_PAPER_SCALE", "") not in ("", "0")
+
+
+def archive_table(name: str, table) -> None:
+    """Print a regenerated table and save it under benchmarks/results/."""
+    text = table.format()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark."""
+
+    def run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return run

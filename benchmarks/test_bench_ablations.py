@@ -1,0 +1,81 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* factoring levels (Section 2.1 item 1) — steps vs space;
+* PST attribute ordering (the paper's fewest-don't-cares heuristic);
+* delayed branching (Section 2.1 item 3) — the search DAG's step/space trade;
+* virtual links (Section 3.2 footnote 1) — how often Figure 6 needs splits.
+"""
+
+from __future__ import annotations
+
+from conftest import archive_table, paper_scale
+
+from repro.experiments import (
+    AblationConfig,
+    run_delayed_branching_ablation,
+    run_factoring_ablation,
+    run_ordering_ablation,
+    run_range_workload_ablation,
+    run_virtual_link_ablation,
+)
+from repro.workload import CHART2_SPEC
+
+
+def ablation_config() -> AblationConfig:
+    if paper_scale():
+        return AblationConfig(num_subscriptions=5000, num_events=500)
+    return AblationConfig(num_subscriptions=1500, num_events=200)
+
+
+def test_factoring_levels(once):
+    table = once(lambda: run_factoring_ablation(ablation_config()))
+    archive_table("ablation_factoring", table)
+    steps = dict(zip(table.column("factoring_levels"), table.column("mean_steps")))
+    nodes = dict(zip(table.column("factoring_levels"), table.column("total_nodes")))
+    assert steps[2] < steps[0], "factoring must reduce matching steps"
+    assert nodes[2] >= nodes[0] * 0.5, "factoring trades space for time"
+
+
+def test_attribute_ordering(once):
+    table = once(lambda: run_ordering_ablation(ablation_config()))
+    archive_table("ablation_ordering", table)
+    steps = dict(zip(table.column("ordering"), table.column("mean_steps")))
+    assert steps["fewest-dont-cares"] <= steps["reverse"], (
+        "the paper's ordering heuristic must beat the adversarial order"
+    )
+
+
+def test_delayed_branching(once):
+    config = AblationConfig(
+        spec=CHART2_SPEC,
+        num_subscriptions=2000 if paper_scale() else 800,
+        num_events=300 if paper_scale() else 150,
+    )
+    table = once(lambda: run_delayed_branching_ablation(config))
+    archive_table("ablation_delayed_branching", table)
+    rows = {row[0]: row for row in table.rows}
+    assert rows["search DAG"][1] < rows["parallel search tree"][1], (
+        "delayed branching must reduce matching steps"
+    )
+
+
+def test_virtual_links(once):
+    table = once(lambda: run_virtual_link_ablation(subscribers_per_broker=3))
+    archive_table("ablation_virtual_links", table)
+    rows = {row[0]: row for row in table.rows}
+    assert rows["default"][1] > 0, "lateral links must force link splits"
+    assert rows["none"][1] == 0, "a pure tree needs no virtual links"
+
+
+def test_range_workload(once):
+    config = AblationConfig(
+        num_subscriptions=3000 if paper_scale() else 1000,
+        num_events=300 if paper_scale() else 150,
+    )
+    table = once(lambda: run_range_workload_ablation(config))
+    archive_table("ablation_range_workload", table)
+    steps = dict(zip(table.column("range_probability"), table.column("mean_steps")))
+    matches = dict(zip(table.column("range_probability"), table.column("mean_matches")))
+    # Range tests are coarser: both work and match volume rise with range share.
+    assert steps[1.0] > steps[0.0]
+    assert matches[1.0] > matches[0.0]

@@ -1,0 +1,49 @@
+"""Network-loading comparison across all three protocols (Section 5).
+
+Asserts both baseline failure modes: flooding maximizes broker load and
+wasted deliveries; match-first matches link matching's message counts but
+pays growing header bytes for its destination lists.
+"""
+
+from __future__ import annotations
+
+from conftest import archive_table, paper_scale
+
+from repro.experiments import BaselineConfig, run_baseline_comparison
+
+
+def baseline_config() -> BaselineConfig:
+    if paper_scale():
+        return BaselineConfig(
+            subscription_counts=(500, 2000, 8000),
+            subscribers_per_broker=10,
+            num_events_per_publisher=300,
+        )
+    return BaselineConfig(
+        subscription_counts=(100, 400, 1600),
+        subscribers_per_broker=3,
+        num_events_per_publisher=120,
+    )
+
+
+def test_network_loading_comparison(once):
+    config = baseline_config()
+    table = once(lambda: run_baseline_comparison(config))
+    archive_table("baseline_network_loading", table)
+    rows = {}
+    for row in table.rows:
+        by_column = dict(zip(table.columns, row))
+        rows[(by_column["subscriptions"], by_column["protocol"])] = by_column
+    for count in config.subscription_counts:
+        lm = rows[(count, "link-matching")]
+        flood = rows[(count, "flooding")]
+        match_first = rows[(count, "match-first")]
+        # Flooding loads every broker and wastes deliveries.
+        assert flood["broker_msgs"] > lm["broker_msgs"]
+        assert flood["wasted_deliveries"] > 0
+        assert lm["wasted_deliveries"] == 0
+        # Match-first uses the same links but fatter messages.
+        assert match_first["link_msgs"] == lm["link_msgs"]
+        assert match_first["link_kbytes"] > lm["link_kbytes"]
+        assert match_first["hdr_bytes_per_delivery"] > 0
+        assert lm["hdr_bytes_per_delivery"] == 0

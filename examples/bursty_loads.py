@@ -1,0 +1,59 @@
+"""Bursty message loads — exploring the paper's future-work question.
+
+"Since many publish/subscribe applications exhibit peak activity periods,
+we are examining how our protocol performs with bursty message loads."
+(Section 6.)
+
+Runs the Figure 6 network under link matching at one fixed mean publish
+rate while sweeping the burstiness of the arrival process (1 = Poisson,
+higher = the same events squeezed into ON periods), and prints queue and
+latency behaviour.
+
+Run:
+    python examples/bursty_loads.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import BurstyConfig, run_bursty
+from repro.experiments.ascii_chart import Series, render_chart
+
+
+def main() -> None:
+    config = BurstyConfig(
+        num_subscriptions=250,
+        subscribers_per_broker=3,
+        mean_rate=3500.0,
+        burstiness_factors=(1.0, 2.0, 5.0, 10.0, 20.0),
+        duration_s=1.0,
+    )
+    print(
+        f"Figure 6 topology, link matching, mean rate fixed at "
+        f"{config.mean_rate:.0f} events/s\n"
+    )
+    table = run_bursty(config)
+    print(table.format())
+    print()
+    print(
+        render_chart(
+            "max broker queue depth vs burstiness factor",
+            [
+                Series(
+                    "max_queue",
+                    list(zip(table.column("burstiness"), table.column("max_queue"))),
+                )
+            ],
+            width=48,
+            height=10,
+            x_label="burstiness",
+        )
+    )
+    print()
+    print("Takeaway: at mid utilization, bursts translate into transient queue")
+    print("depth (roughly linear in the burst factor) rather than overload;")
+    print("the saturation headroom the Chart 1 experiment measures is what")
+    print("absorbs the peaks the paper worries about.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: content-based pub/sub in one file.
+
+Builds the paper's stock-trade information space, a three-broker network,
+registers content-based subscriptions (the exact predicate from the paper's
+introduction), publishes events, and shows where link matching sent them.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ContentRoutedNetwork, stock_trade_schema
+from repro.network import NodeKind, Topology
+
+
+def build_topology() -> Topology:
+    """Three brokers in a line; Alice near the publisher, Bob two hops away."""
+    topology = Topology()
+    topology.add_broker("NY")
+    topology.add_broker("LONDON")
+    topology.add_broker("TOKYO")
+    topology.add_link("NY", "LONDON", latency_ms=35.0)
+    topology.add_link("LONDON", "TOKYO", latency_ms=60.0)
+    topology.add_client("alice", "NY")
+    topology.add_client("bob", "TOKYO")
+    topology.add_client("ticker", "NY", kind=NodeKind.PUBLISHER)
+    return topology
+
+
+def main() -> None:
+    schema = stock_trade_schema()  # [issue: string, price: dollar, volume: integer]
+    network = ContentRoutedNetwork(build_topology(), schema)
+
+    # The paper's running example subscription, plus an orthogonal one: Bob
+    # filters on volume alone — impossible to express in subject-based
+    # pub/sub without pre-defining a "high-volume" subject.
+    network.subscribe("alice", "issue='IBM' & price<120 & volume>1000")
+    network.subscribe("bob", "volume>50000")
+
+    trades = [
+        {"issue": "IBM", "price": 119.5, "volume": 2500},
+        {"issue": "IBM", "price": 121.0, "volume": 2500},   # price too high for Alice
+        {"issue": "MSFT", "price": 55.0, "volume": 80000},  # Bob's volume filter
+        {"issue": "IBM", "price": 99.0, "volume": 60000},   # both match
+    ]
+    for values in trades:
+        trace = network.publish("ticker", values)
+        recipients = sorted(trace.delivered_clients) or ["(nobody)"]
+        links = ", ".join(f"{a}->{b}" for a, b in trace.links_used) or "none"
+        print(
+            f"{values['issue']:<5} ${values['price']:<7} x{values['volume']:<6} "
+            f"-> {', '.join(recipients):<12} broker links used: {links}"
+        )
+
+    print()
+    print("Note the second trade crossed zero broker links: no remote broker")
+    print("had an interested subscriber, so link matching never forwarded it.")
+
+
+if __name__ == "__main__":
+    main()

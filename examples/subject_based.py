@@ -1,0 +1,80 @@
+"""Subject-based pub/sub on top of content-based routing.
+
+The paper's Section 1 claim made runnable: subjects (channels/topics) are
+just the degenerate case of content-based subscriptions.  A market-data
+space carries a ``subject`` attribute; subject members get a multicast
+group's semantics; and a content-based subscriber on the *same* information
+space filters on an orthogonal axis (volume) that subject-based systems
+cannot express without predefining a group per threshold.
+
+Run:
+    python examples/subject_based.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ContentRoutedNetwork
+from repro.network import NodeKind, Topology
+from repro.subjects import SUBJECT_ATTRIBUTE, SubjectAdapter, subject_schema
+
+SUBJECTS = ["nyse.ibm", "nyse.msft", "nasdaq.intc", "nasdaq.sunw"]
+
+
+def build_topology() -> Topology:
+    topology = Topology()
+    for broker in ("B0", "B1", "B2"):
+        topology.add_broker(broker)
+    topology.add_link("B0", "B1", latency_ms=10.0)
+    topology.add_link("B1", "B2", latency_ms=10.0)
+    topology.add_client("ibm_watcher", "B0")
+    topology.add_client("tech_desk", "B2")
+    topology.add_client("whale_watcher", "B2")
+    topology.add_client("ticker", "B1", kind=NodeKind.PUBLISHER)
+    return topology
+
+
+def main() -> None:
+    schema = subject_schema([("price", "dollar"), ("volume", "integer")])
+    # Factoring on the subject gives the table-lookup dispatch that makes
+    # subject-based systems fast — here it falls out of Section 2.1 item 1.
+    network = ContentRoutedNetwork(
+        build_topology(),
+        schema,
+        domains={SUBJECT_ATTRIBUTE: SUBJECTS},
+        factoring_attributes=[SUBJECT_ATTRIBUTE],
+    )
+    subjects = SubjectAdapter(network)
+
+    subjects.subscribe("ibm_watcher", "nyse.ibm")
+    subjects.subscribe("tech_desk", "nasdaq.intc")
+    subjects.subscribe("tech_desk", "nasdaq.sunw")
+    # The content-based superpower on the same space:
+    network.subscribe("whale_watcher", "volume>50000")
+
+    print("Group membership (the multicast-group view):")
+    for subject in SUBJECTS:
+        print(f"  {subject:<13} -> {subjects.members_of(subject) or '(empty)'}")
+
+    print("\nTicks:")
+    ticks = [
+        ("nyse.ibm", 119.0, 2000),
+        ("nasdaq.intc", 30.5, 800),
+        ("nasdaq.sunw", 90.0, 99_000),   # tech_desk AND whale_watcher
+        ("nyse.msft", 55.0, 500),        # nobody subscribed
+    ]
+    for subject, price, volume in ticks:
+        trace = subjects.publish("ticker", subject, price=price, volume=volume)
+        steps = trace.broker_steps.get("B1", 0)
+        print(
+            f"  {subject:<13} x{volume:<6} -> "
+            f"{sorted(trace.delivered_clients) or ['(dropped at publisher)']} "
+            f"({steps} matching steps at the publishing broker)"
+        )
+
+    print("\nThe msft tick died at the publishing broker after a handful of")
+    print("steps: a subject lookup is 'a mere table lookup' (Section 1), and")
+    print("with factoring on the subject, that is literally what runs here.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""WAN saturation study on the Figure 6 topology (a mini Chart 1).
+
+Runs the paper's 39-broker simulation at one publish rate under flooding and
+under link matching and prints per-protocol network load; then searches for
+each protocol's saturation point.  This is the Chart 1 experiment at
+example-friendly scale — the full sweep lives in
+``benchmarks/test_bench_chart1_saturation.py``.
+
+Run:
+    python examples/wan_saturation.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.chart1 import Chart1Config, saturation_for
+from repro.network import figure6_topology
+from repro.protocols import FloodingProtocol, LinkMatchingProtocol, ProtocolContext
+from repro.sim import NetworkSimulation
+from repro.workload import (
+    CHART1_SPEC,
+    EventGenerator,
+    SubscriptionGenerator,
+    figure6_region_of,
+)
+
+NUM_SUBSCRIPTIONS = 250
+PROBE_RATE = 2500.0  # events/second across the three tracked publishers
+
+
+def main() -> None:
+    spec = CHART1_SPEC
+    topology = figure6_topology(subscribers_per_broker=3)
+    print(f"Topology: {topology}")
+    generator = SubscriptionGenerator(spec, seed=7, region_of=figure6_region_of)
+    subscriptions = generator.subscriptions_for(topology.subscribers(), NUM_SUBSCRIPTIONS)
+    events = EventGenerator(spec, seed=8, region_of=figure6_region_of)
+    context = ProtocolContext(
+        topology,
+        spec.schema(),
+        subscriptions,
+        domains=spec.domains(),
+        factoring_attributes=spec.factoring_attributes,
+    )
+    protocols = [LinkMatchingProtocol(context), FloodingProtocol(context)]
+
+    print(f"\n-- fixed-rate run at {PROBE_RATE:.0f} events/s --")
+    for protocol in protocols:
+        simulation = NetworkSimulation(topology, protocol, seed=3)
+        for publisher in topology.publishers():
+            simulation.add_poisson_publisher(
+                publisher, PROBE_RATE / 3, events.factory_for(publisher), 300
+            )
+        result = simulation.run(max_seconds=1.5, drain=False)
+        print(
+            f"{protocol.name:>14}: {result.total_broker_messages:>6} broker messages, "
+            f"{result.total_link_messages:>6} link crossings, "
+            f"{len(result.matched_deliveries):>4} useful deliveries, "
+            f"{result.wasted_deliveries:>5} wasted, "
+            f"overloaded={result.is_overloaded}"
+        )
+
+    print("\n-- saturation search (this takes a minute) --")
+    config = Chart1Config(probe_duration_s=0.4, subscribers_per_broker=3)
+    for protocol in protocols:
+        result = saturation_for(topology, protocol, events, config)
+        print(
+            f"{protocol.name:>14}: saturates at ~{result.saturation_rate:,.0f} events/s "
+            f"({len(result.probes)} probes)"
+        )
+    print("\nFlooding loads every broker with every event; link matching only")
+    print("touches brokers on the way to interested subscribers — hence the gap.")
+
+
+if __name__ == "__main__":
+    main()

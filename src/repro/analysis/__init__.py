@@ -1,0 +1,6 @@
+"""Analytical models backing the paper's asymptotic claims (the companion
+paper's sublinear matching cost), plus workload analyses built on them."""
+
+from repro.analysis.model import MatchingCostModel, measure_workload_redundancy
+
+__all__ = ["MatchingCostModel", "measure_workload_redundancy"]

@@ -1,0 +1,79 @@
+"""Per-client event logs for reliable redelivery (Section 4.2).
+
+"These protocol objects are robust enough to handle transient failures of
+connections by maintaining an event log per client.  Once a client
+re-connects after a failure, the client protocol object delivers the events
+received while the client was dis-connected.  A garbage collector
+periodically cleans up the log."
+
+:class:`EventLog` assigns each outgoing event a monotonically increasing
+per-client sequence number.  Entries stay in the log until the client ACKs
+them; :meth:`collect` (the garbage collector) drops everything at or below
+the acked watermark.  :meth:`entries_after` yields the redelivery backlog on
+reconnect.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Tuple
+
+from repro.errors import ProtocolError
+
+
+class EventLog:
+    """Sequence-numbered outgoing log for one client."""
+
+    def __init__(self, client_name: str) -> None:
+        self.client_name = client_name
+        self._entries: "OrderedDict[int, bytes]" = OrderedDict()
+        self._next_seq = 1
+        self._acked = 0
+
+    def append(self, event_data: bytes) -> int:
+        """Log an outgoing event; returns its sequence number."""
+        seq = self._next_seq
+        self._next_seq += 1
+        self._entries[seq] = event_data
+        return seq
+
+    def ack(self, seq: int) -> None:
+        """The client confirms processing everything up to ``seq``."""
+        if seq >= self._next_seq:
+            raise ProtocolError(
+                f"client {self.client_name!r} acked seq {seq}, which was never sent"
+            )
+        if seq > self._acked:
+            self._acked = seq
+
+    @property
+    def acked(self) -> int:
+        return self._acked
+
+    @property
+    def last_seq(self) -> int:
+        return self._next_seq - 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries_after(self, seq: int) -> List[Tuple[int, bytes]]:
+        """The redelivery backlog: all logged entries with sequence > ``seq``."""
+        return [(s, data) for s, data in self._entries.items() if s > seq]
+
+    def collect(self) -> int:
+        """Garbage-collect acked entries; returns how many were dropped.
+
+        Never drops an unacked entry, so a crash-and-reconnect after any
+        number of collections still replays every unprocessed event.
+        """
+        stale = [seq for seq in self._entries if seq <= self._acked]
+        for seq in stale:
+            del self._entries[seq]
+        return len(stale)
+
+    def __repr__(self) -> str:
+        return (
+            f"EventLog({self.client_name!r}, {len(self._entries)} entries, "
+            f"acked={self._acked}, next={self._next_seq})"
+        )

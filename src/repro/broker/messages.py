@@ -1,0 +1,233 @@
+"""Wire messages of the client and broker protocols (Figure 7).
+
+Messages are dataclasses with a compact binary encoding (one type byte plus
+typed fields — see :mod:`repro.broker.codec`).  Framing (length prefix) is
+the transport's job; this module converts between message objects and
+payload bytes.
+
+Client protocol: ``CONNECT``/``CONNACK`` (with resume point for reliable
+redelivery), ``SUBSCRIBE``/``SUBACK``, ``UNSUBSCRIBE``/``UNSUBACK``,
+``PUBLISH`` (client → broker), ``EVENT`` (broker → client, sequenced) and
+``ACK`` (client → broker, drives log garbage collection).
+
+Broker protocol: ``BROKER_EVENT`` (an event in transit on a spanning tree),
+``SUB_PROPAGATE``/``UNSUB_PROPAGATE`` (replicating the subscription set to
+every broker, flooded with origin-based deduplication) and ``BROKER_HELLO``
+(identifying the dialing broker when a broker-broker connection opens).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Type
+
+from repro.errors import CodecError
+from repro.broker.codec import ByteReader, ByteWriter
+
+
+class MessageType(enum.IntEnum):
+    CONNECT = 1
+    CONNACK = 2
+    SUBSCRIBE = 3
+    SUBACK = 4
+    UNSUBSCRIBE = 5
+    UNSUBACK = 6
+    PUBLISH = 7
+    EVENT = 8
+    ACK = 9
+    DISCONNECT = 10
+    BROKER_HELLO = 11
+    BROKER_EVENT = 12
+    SUB_PROPAGATE = 13
+    UNSUB_PROPAGATE = 14
+    ERROR = 15
+
+
+@dataclass(frozen=True)
+class Connect:
+    """Client → broker: open (or resume) a session.
+
+    ``last_seq`` is the highest event sequence number the client has safely
+    processed; the broker redelivers everything after it.
+    """
+
+    client_name: str
+    last_seq: int = 0
+
+
+@dataclass(frozen=True)
+class ConnAck:
+    broker_name: str
+    backlog: int  # events about to be redelivered
+
+
+@dataclass(frozen=True)
+class Subscribe:
+    request_id: int
+    expression: str
+
+
+@dataclass(frozen=True)
+class SubAck:
+    request_id: int
+    subscription_id: int
+
+
+@dataclass(frozen=True)
+class Unsubscribe:
+    request_id: int
+    subscription_id: int
+
+
+@dataclass(frozen=True)
+class UnsubAck:
+    request_id: int
+    subscription_id: int
+
+
+@dataclass(frozen=True)
+class Publish:
+    event_data: bytes
+
+
+@dataclass(frozen=True)
+class EventDelivery:
+    seq: int
+    event_data: bytes
+
+
+@dataclass(frozen=True)
+class Ack:
+    seq: int
+
+
+@dataclass(frozen=True)
+class Disconnect:
+    pass
+
+
+@dataclass(frozen=True)
+class BrokerHello:
+    broker_name: str
+
+
+@dataclass(frozen=True)
+class BrokerEvent:
+    root: str
+    publisher: str
+    event_data: bytes
+
+
+@dataclass(frozen=True)
+class SubPropagate:
+    subscription_id: int
+    subscriber: str
+    expression: str
+    origin: str  # broker that accepted the subscription
+
+
+@dataclass(frozen=True)
+class UnsubPropagate:
+    subscription_id: int
+    origin: str
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    request_id: int
+    reason: str
+
+
+_TYPE_OF = {
+    Connect: MessageType.CONNECT,
+    ConnAck: MessageType.CONNACK,
+    Subscribe: MessageType.SUBSCRIBE,
+    SubAck: MessageType.SUBACK,
+    Unsubscribe: MessageType.UNSUBSCRIBE,
+    UnsubAck: MessageType.UNSUBACK,
+    Publish: MessageType.PUBLISH,
+    EventDelivery: MessageType.EVENT,
+    Ack: MessageType.ACK,
+    Disconnect: MessageType.DISCONNECT,
+    BrokerHello: MessageType.BROKER_HELLO,
+    BrokerEvent: MessageType.BROKER_EVENT,
+    SubPropagate: MessageType.SUB_PROPAGATE,
+    UnsubPropagate: MessageType.UNSUB_PROPAGATE,
+    ErrorReply: MessageType.ERROR,
+}
+
+
+def encode_message(message: object) -> bytes:
+    """Message object → payload bytes (type byte + fields)."""
+    message_type = _TYPE_OF.get(type(message))
+    if message_type is None:
+        raise CodecError(f"not a wire message: {message!r}")
+    writer = ByteWriter().u8(int(message_type))
+    if isinstance(message, Connect):
+        writer.string(message.client_name).u64(message.last_seq)
+    elif isinstance(message, ConnAck):
+        writer.string(message.broker_name).u32(message.backlog)
+    elif isinstance(message, Subscribe):
+        writer.u32(message.request_id).string(message.expression)
+    elif isinstance(message, (SubAck, UnsubAck, Unsubscribe)):
+        writer.u32(message.request_id).u64(message.subscription_id)
+    elif isinstance(message, Publish):
+        writer.u32(len(message.event_data)).raw(message.event_data)
+    elif isinstance(message, EventDelivery):
+        writer.u64(message.seq).u32(len(message.event_data)).raw(message.event_data)
+    elif isinstance(message, Ack):
+        writer.u64(message.seq)
+    elif isinstance(message, Disconnect):
+        pass
+    elif isinstance(message, BrokerHello):
+        writer.string(message.broker_name)
+    elif isinstance(message, BrokerEvent):
+        writer.string(message.root).string(message.publisher)
+        writer.u32(len(message.event_data)).raw(message.event_data)
+    elif isinstance(message, SubPropagate):
+        writer.u64(message.subscription_id).string(message.subscriber)
+        writer.string(message.expression).string(message.origin)
+    elif isinstance(message, UnsubPropagate):
+        writer.u64(message.subscription_id).string(message.origin)
+    elif isinstance(message, ErrorReply):
+        writer.u32(message.request_id).string(message.reason)
+    return writer.getvalue()
+
+
+def decode_message(payload: bytes) -> object:
+    """Payload bytes → message object; raises :class:`CodecError` on any
+    malformed input (unknown type byte, truncation, trailing bytes)."""
+    reader = ByteReader(payload)
+    type_byte = reader.u8()
+    try:
+        message_type = MessageType(type_byte)
+    except ValueError:
+        raise CodecError(f"unknown message type byte {type_byte}") from None
+    message = _DECODERS[message_type](reader)
+    reader.expect_exhausted()
+    return message
+
+
+def _read_blob(reader: ByteReader) -> bytes:
+    length = reader.u32()
+    return reader._take(length)  # noqa: SLF001 - codec-internal access
+
+
+_DECODERS: Dict[MessageType, Callable[[ByteReader], object]] = {
+    MessageType.CONNECT: lambda r: Connect(r.string(), r.u64()),
+    MessageType.CONNACK: lambda r: ConnAck(r.string(), r.u32()),
+    MessageType.SUBSCRIBE: lambda r: Subscribe(r.u32(), r.string()),
+    MessageType.SUBACK: lambda r: SubAck(r.u32(), r.u64()),
+    MessageType.UNSUBSCRIBE: lambda r: Unsubscribe(r.u32(), r.u64()),
+    MessageType.UNSUBACK: lambda r: UnsubAck(r.u32(), r.u64()),
+    MessageType.PUBLISH: lambda r: Publish(_read_blob(r)),
+    MessageType.EVENT: lambda r: EventDelivery(r.u64(), _read_blob(r)),
+    MessageType.ACK: lambda r: Ack(r.u64()),
+    MessageType.DISCONNECT: lambda r: Disconnect(),
+    MessageType.BROKER_HELLO: lambda r: BrokerHello(r.string()),
+    MessageType.BROKER_EVENT: lambda r: BrokerEvent(r.string(), r.string(), _read_blob(r)),
+    MessageType.SUB_PROPAGATE: lambda r: SubPropagate(r.u64(), r.string(), r.string(), r.string()),
+    MessageType.UNSUB_PROPAGATE: lambda r: UnsubPropagate(r.u64(), r.string()),
+    MessageType.ERROR: lambda r: ErrorReply(r.u32(), r.string()),
+}

@@ -1,0 +1,544 @@
+"""The prototype broker node (Section 4.2, Figure 7).
+
+A :class:`BrokerNode` assembles the components the paper diagrams:
+
+* **matching engine** — subscription manager + event parser
+  (:class:`~repro.broker.engine.MatchingEngine`), used here through the
+  link-matching :class:`~repro.core.router.ContentRouter` so inter-broker
+  forwarding is content-routed exactly as in Section 3;
+* **client protocol** — CONNECT/SUBSCRIBE/PUBLISH/EVENT/ACK handling with a
+  per-client :class:`~repro.broker.event_log.EventLog` for reliable
+  redelivery across disconnects, plus a garbage collector for acked entries;
+* **broker protocol** — BROKER_HELLO handshakes, flooded subscription
+  propagation (every broker keeps a full copy of the subscription set, as
+  Section 3.1 requires), and BROKER_EVENT forwarding along spanning trees;
+* **connection manager** — tracks broker and client connections, dials
+  neighbor brokers at startup (the lexicographically smaller name dials, so
+  each topology link maps to exactly one TCP connection);
+* **transport** — any :class:`~repro.broker.transport.Transport`
+  (in-memory for tests, TCP for real deployments).
+
+The broker network's shape is static configuration
+(:class:`BrokerNetworkConfig` wraps the topology, routing tables and
+spanning trees), matching the paper's "brokers are connected using a
+specified topology"; clients are *declared* in the topology and attach by
+name.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import ProtocolError, RoutingError, TransportError
+from repro.broker import messages as wire
+from repro.broker.event_log import EventLog
+from repro.broker.transport import Connection, Listener, Transport
+from repro.core.router import ContentRouter
+from repro.matching.events import Event
+from repro.matching.parser import parse_predicate
+from repro.matching.predicates import Subscription
+from repro.matching.schema import AttributeValue, EventSchema
+from repro.network.paths import RoutingTable, all_routing_tables
+from repro.network.spanning import SpanningTree, spanning_trees_for_publishers
+from repro.network.topology import NodeKind, Topology
+
+_global_subscription_ids = itertools.count(1_000_000)
+
+
+class BrokerNetworkConfig:
+    """Shared static configuration for a prototype broker network."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        schema: EventSchema,
+        *,
+        attribute_order: Optional[Sequence[str]] = None,
+        domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
+        factoring_attributes: Optional[Sequence[str]] = None,
+    ) -> None:
+        topology.validate()
+        if not topology.publishers():
+            raise RoutingError("the topology declares no publishers")
+        self.topology = topology
+        self.schema = schema
+        self.attribute_order = attribute_order
+        self.domains = domains
+        self.factoring_attributes = factoring_attributes
+        self.routing_tables: Dict[str, RoutingTable] = all_routing_tables(topology)
+        self.spanning_trees: Dict[str, SpanningTree] = spanning_trees_for_publishers(topology)
+
+
+class ClientSession:
+    """Broker-side state for one declared client: its event log (which
+    outlives connections) and the live connection, when any."""
+
+    __slots__ = ("name", "log", "connection")
+
+    def __init__(self, name: str, log: Optional[object] = None) -> None:
+        self.name = name
+        self.log = log if log is not None else EventLog(name)
+        self.connection: Optional[Connection] = None
+
+    @property
+    def is_connected(self) -> bool:
+        return self.connection is not None and self.connection.is_open
+
+    def __repr__(self) -> str:
+        return f"ClientSession({self.name!r}, connected={self.is_connected})"
+
+
+class BrokerNode:
+    """One prototype broker (see module docstring).
+
+    Lifecycle: construct, :meth:`start` (listens and dials neighbors), use,
+    :meth:`stop`.  All message handling is serialized under one lock, so the
+    node is safe under the TCP transport's receiver threads.
+    """
+
+    def __init__(
+        self,
+        config: BrokerNetworkConfig,
+        name: str,
+        transport: Transport,
+        endpoints: Mapping[str, str],
+        *,
+        gc_interval_acks: int = 64,
+        log_directory: Optional[str] = None,
+    ) -> None:
+        if name not in config.topology.brokers():
+            raise ProtocolError(f"{name!r} is not a broker in the topology")
+        self.config = config
+        self.name = name
+        self.transport = transport
+        # Kept by reference on purpose: when several nodes share one mapping
+        # and listen on ephemeral ports ("host:0"), each node publishes its
+        # actual bound port back into the shared mapping at start().
+        self.endpoints = endpoints if isinstance(endpoints, dict) else dict(endpoints)
+        self.router = ContentRouter(
+            config.topology,
+            name,
+            config.routing_tables[name],
+            config.spanning_trees,
+            config.schema,
+            attribute_order=config.attribute_order,
+            domains=config.domains,
+            factoring_attributes=config.factoring_attributes,
+        )
+        #: When set, per-client event logs are persisted under this
+        #: directory (one subdirectory per broker), so reliable redelivery
+        #: also survives broker restarts — see
+        #: :class:`repro.broker.persistent_log.FileEventLog`.
+        self.log_directory = log_directory
+        self._lock = threading.RLock()
+        self._listener: Optional[Listener] = None
+        self._broker_connections: Dict[str, Connection] = {}
+        #: Connections we have already sent our hello+resync on; prevents
+        #: hello ping-pong when both ends of a link dial each other.
+        self._greeted_connections: Set[int] = set()
+        self._sessions: Dict[str, ClientSession] = {}
+        self._seen_subscription_ids: Set[int] = set()
+        self._gc_interval_acks = max(1, gc_interval_acks)
+        self._acks_since_gc = 0
+        self.events_routed = 0
+        self.events_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def start(self) -> None:
+        """Listen on this broker's endpoint and dial neighbor brokers.
+
+        Only the lexicographically smaller broker of each link dials, so
+        every topology link yields exactly one connection.
+        """
+        endpoint = self.endpoints.get(self.name)
+        if endpoint is None:
+            raise TransportError(f"no endpoint configured for broker {self.name!r}")
+        self._listener = self.transport.listen(endpoint, self._on_accept)
+        bound_port = getattr(self._listener, "port", None)
+        if bound_port is not None and endpoint.endswith(":0"):
+            self.endpoints[self.name] = f"{endpoint[: -len(':0')]}:{bound_port}"
+
+    def connect_neighbors(self) -> None:
+        """Dial broker neighbors this node is responsible for.  Separate from
+        :meth:`start` so a whole network can listen first, then dial."""
+        for neighbor in self.config.topology.broker_neighbors(self.name):
+            if self.name < neighbor:
+                self._dial_broker(neighbor)
+
+    def stop(self) -> None:
+        with self._lock:
+            if self._listener is not None:
+                self._listener.close()
+                self._listener = None
+            for connection in list(self._broker_connections.values()):
+                connection.close()
+            self._broker_connections.clear()
+            for session in self._sessions.values():
+                if session.connection is not None:
+                    session.connection.close()
+                    session.connection = None
+                close = getattr(session.log, "close", None)
+                if close is not None:
+                    close()
+
+    def dial_broker(self, neighbor: str) -> None:
+        """Open (or re-open) the connection to a neighbor broker.
+
+        Used at startup for the neighbors this node is responsible for, and
+        by operators after a neighbor restart (a restarted broker has lost
+        its connections *and* its subscription state; the hello handshake
+        triggers a full subscription resync from the peer — see
+        :meth:`_handle_broker_hello`).
+        """
+        endpoint = self.endpoints.get(neighbor)
+        if endpoint is None:
+            raise TransportError(f"no endpoint configured for broker {neighbor!r}")
+        connection = self.transport.connect(endpoint)
+        connection.on_message = lambda payload: self._on_payload(connection, payload)
+        connection.on_close = lambda: self._on_connection_closed(connection)
+        connection.start()
+        with self._lock:
+            self._broker_connections[neighbor] = connection
+            self._greeted_connections.add(id(connection))
+        connection.send(wire.encode_message(wire.BrokerHello(self.name)))
+        self._send_subscription_sync(connection)
+
+    # Backwards-compatible private alias used by connect_neighbors.
+    _dial_broker = dial_broker
+
+    # ------------------------------------------------------------------
+    # Connection management
+
+    def _on_accept(self, connection: Connection) -> None:
+        # The peer identifies itself with its first message (BrokerHello or
+        # Connect); until then the connection is anonymous.
+        connection.on_message = lambda payload: self._on_payload(connection, payload)
+        connection.on_close = lambda: self._on_connection_closed(connection)
+        connection.start()
+
+    def _on_connection_closed(self, connection: Connection) -> None:
+        with self._lock:
+            self._greeted_connections.discard(id(connection))
+            for neighbor, existing in list(self._broker_connections.items()):
+                if existing is connection:
+                    del self._broker_connections[neighbor]
+            for session in self._sessions.values():
+                if session.connection is connection:
+                    session.connection = None  # log is kept for redelivery
+
+    def _session_for(self, client_name: str) -> ClientSession:
+        session = self._sessions.get(client_name)
+        if session is None:
+            log = None
+            if self.log_directory is not None:
+                from repro.broker.persistent_log import FileEventLog
+
+                import os.path
+
+                log = FileEventLog(
+                    client_name, os.path.join(self.log_directory, self.name)
+                )
+            session = ClientSession(client_name, log)
+            self._sessions[client_name] = session
+        return session
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+
+    def _on_payload(self, connection: Connection, payload: bytes) -> None:
+        message = wire.decode_message(payload)
+        with self._lock:
+            self._dispatch(connection, message)
+
+    def _dispatch(self, connection: Connection, message: object) -> None:
+        if isinstance(message, wire.BrokerHello):
+            self._handle_broker_hello(connection, message)
+        elif isinstance(message, wire.Connect):
+            self._handle_connect(connection, message)
+        elif isinstance(message, wire.Subscribe):
+            self._handle_subscribe(connection, message)
+        elif isinstance(message, wire.Unsubscribe):
+            self._handle_unsubscribe(connection, message)
+        elif isinstance(message, wire.Publish):
+            self._handle_publish(connection, message)
+        elif isinstance(message, wire.Ack):
+            self._handle_ack(connection, message)
+        elif isinstance(message, wire.Disconnect):
+            self._handle_disconnect(connection)
+        elif isinstance(message, wire.BrokerEvent):
+            self._handle_broker_event(message)
+        elif isinstance(message, wire.SubPropagate):
+            self._handle_sub_propagate(connection, message)
+        elif isinstance(message, wire.UnsubPropagate):
+            self._handle_unsub_propagate(connection, message)
+        else:
+            raise ProtocolError(f"broker cannot handle {type(message).__name__}")
+
+    # ------------------------------------------------------------------
+    # Client protocol
+
+    def _client_name_of(self, connection: Connection) -> Optional[str]:
+        for name, session in self._sessions.items():
+            if session.connection is connection:
+                return name
+        return None
+
+    def _handle_connect(self, connection: Connection, message: wire.Connect) -> None:
+        name = message.client_name
+        node = self.config.topology.node(name) if name in self.config.topology else None
+        if node is None or not node.kind.is_client:
+            connection.send(
+                wire.encode_message(wire.ErrorReply(0, f"unknown client {name!r}"))
+            )
+            connection.close()
+            return
+        if self.config.topology.broker_of(name) != self.name:
+            connection.send(
+                wire.encode_message(
+                    wire.ErrorReply(0, f"{name!r} is not attached to broker {self.name!r}")
+                )
+            )
+            connection.close()
+            return
+        session = self._session_for(name)
+        if session.connection is not None and session.connection.is_open:
+            session.connection.close()
+        session.connection = connection
+        session.log.ack(min(message.last_seq, session.log.last_seq))
+        backlog = session.log.entries_after(message.last_seq)
+        connection.send(wire.encode_message(wire.ConnAck(self.name, len(backlog))))
+        for seq, event_data in backlog:
+            connection.send(wire.encode_message(wire.EventDelivery(seq, event_data)))
+
+    def _handle_subscribe(self, connection: Connection, message: wire.Subscribe) -> None:
+        client = self._client_name_of(connection)
+        if client is None:
+            connection.send(
+                wire.encode_message(wire.ErrorReply(message.request_id, "not connected"))
+            )
+            return
+        try:
+            predicate = parse_predicate(self.config.schema, message.expression)
+        except Exception as exc:  # parse/predicate errors go back to the client
+            connection.send(
+                wire.encode_message(wire.ErrorReply(message.request_id, str(exc)))
+            )
+            return
+        subscription_id = next(_global_subscription_ids)
+        subscription = Subscription(predicate, client, subscription_id=subscription_id)
+        self.router.add_subscription(subscription)
+        self._seen_subscription_ids.add(subscription_id)
+        self._flood_to_brokers(
+            wire.SubPropagate(subscription_id, client, message.expression, self.name),
+            exclude=None,
+        )
+        connection.send(
+            wire.encode_message(wire.SubAck(message.request_id, subscription_id))
+        )
+
+    def _handle_unsubscribe(self, connection: Connection, message: wire.Unsubscribe) -> None:
+        client = self._client_name_of(connection)
+        if client is None:
+            connection.send(
+                wire.encode_message(wire.ErrorReply(message.request_id, "not connected"))
+            )
+            return
+        try:
+            removed = self.router.remove_subscription(message.subscription_id)
+        except Exception as exc:
+            connection.send(
+                wire.encode_message(wire.ErrorReply(message.request_id, str(exc)))
+            )
+            return
+        if removed.subscriber != client:
+            # Put it back; clients may only remove their own subscriptions.
+            self.router.add_subscription(removed)
+            connection.send(
+                wire.encode_message(
+                    wire.ErrorReply(message.request_id, "not your subscription")
+                )
+            )
+            return
+        self._seen_subscription_ids.discard(message.subscription_id)
+        self._flood_to_brokers(
+            wire.UnsubPropagate(message.subscription_id, self.name), exclude=None
+        )
+        connection.send(
+            wire.encode_message(wire.UnsubAck(message.request_id, message.subscription_id))
+        )
+
+    def _handle_publish(self, connection: Connection, message: wire.Publish) -> None:
+        client = self._client_name_of(connection)
+        if client is None:
+            connection.send(wire.encode_message(wire.ErrorReply(0, "not connected")))
+            return
+        if self.name not in self.config.spanning_trees:
+            connection.send(
+                wire.encode_message(
+                    wire.ErrorReply(0, f"broker {self.name!r} hosts no declared publisher")
+                )
+            )
+            return
+        self._route_event(message.event_data, root=self.name, publisher=client)
+
+    def _handle_ack(self, connection: Connection, message: wire.Ack) -> None:
+        client = self._client_name_of(connection)
+        if client is None:
+            return
+        session = self._sessions[client]
+        session.log.ack(message.seq)
+        self._acks_since_gc += 1
+        if self._acks_since_gc >= self._gc_interval_acks:
+            self.collect_garbage()
+
+    def _handle_disconnect(self, connection: Connection) -> None:
+        client = self._client_name_of(connection)
+        if client is not None:
+            self._sessions[client].connection = None
+        connection.close()
+
+    # ------------------------------------------------------------------
+    # Broker protocol
+
+    def _handle_broker_hello(self, connection: Connection, message: wire.BrokerHello) -> None:
+        """Register the peer and resync it.
+
+        The hello may come from a broker that just (re)started with empty
+        state, so we push our full subscription copy as individual
+        SUB_PROPAGATE messages; the id-based flood deduplication makes the
+        sync idempotent for peers that already know them.
+
+        Each connection is greeted (hello + resync) at most once per side:
+        the dialer greets when dialing, the acceptor greets on the first
+        hello it sees.  Without that cap, two brokers dialing each other
+        would answer each other's answers forever.
+        """
+        self._broker_connections[message.broker_name] = connection
+        if id(connection) in self._greeted_connections:
+            return
+        self._greeted_connections.add(id(connection))
+        connection.send(wire.encode_message(wire.BrokerHello(self.name)))
+        self._send_subscription_sync(connection)
+
+    def _send_subscription_sync(self, connection: Connection) -> None:
+        for subscription in self.router.matcher.subscriptions:
+            connection.send(
+                wire.encode_message(
+                    wire.SubPropagate(
+                        subscription.subscription_id,
+                        subscription.subscriber,
+                        subscription.predicate.describe(),
+                        self.name,
+                    )
+                )
+            )
+
+    def _flood_to_brokers(self, message: object, exclude: Optional[Connection]) -> None:
+        payload = wire.encode_message(message)
+        for connection in self._broker_connections.values():
+            if connection is exclude or not connection.is_open:
+                continue
+            connection.send(payload)
+
+    def _handle_sub_propagate(self, connection: Connection, message: wire.SubPropagate) -> None:
+        if message.subscription_id in self._seen_subscription_ids:
+            return  # flood deduplication
+        self._seen_subscription_ids.add(message.subscription_id)
+        predicate = parse_predicate(self.config.schema, message.expression)
+        self.router.add_subscription(
+            Subscription(predicate, message.subscriber, subscription_id=message.subscription_id)
+        )
+        self._flood_to_brokers(message, exclude=connection)
+
+    def _handle_unsub_propagate(self, connection: Connection, message: wire.UnsubPropagate) -> None:
+        if message.subscription_id not in self._seen_subscription_ids:
+            return
+        self._seen_subscription_ids.discard(message.subscription_id)
+        self.router.remove_subscription(message.subscription_id)
+        self._flood_to_brokers(message, exclude=connection)
+
+    def _handle_broker_event(self, message: wire.BrokerEvent) -> None:
+        self._route_event(message.event_data, root=message.root, publisher=message.publisher)
+
+    def _route_event(self, event_data: bytes, *, root: str, publisher: str) -> None:
+        from repro.broker.codec import decode_event
+
+        event = decode_event(self.config.schema, event_data, publisher=publisher)
+        decision = self.router.route(event, root)
+        self.events_routed += 1
+        for neighbor in decision.forward_to:
+            connection = self._broker_connections.get(neighbor)
+            if connection is None or not connection.is_open:
+                continue  # neighbor down; the simulator studies this, not the prototype
+            connection.send(
+                wire.encode_message(wire.BrokerEvent(root, publisher, event_data))
+            )
+        for client in decision.deliver_to:
+            self._deliver_to_client(client, event_data)
+
+    def _deliver_to_client(self, client: str, event_data: bytes) -> None:
+        session = self._session_for(client)
+        seq = session.log.append(event_data)
+        self.events_delivered += 1
+        if session.is_connected:
+            assert session.connection is not None
+            session.connection.send(
+                wire.encode_message(wire.EventDelivery(seq, event_data))
+            )
+
+    # ------------------------------------------------------------------
+    # Maintenance / introspection
+
+    def collect_garbage(self) -> int:
+        """Run the event-log garbage collector over all sessions."""
+        with self._lock:
+            self._acks_since_gc = 0
+            return sum(session.log.collect() for session in self._sessions.values())
+
+    def session(self, client_name: str) -> ClientSession:
+        with self._lock:
+            return self._session_for(client_name)
+
+    def stats(self) -> Dict[str, object]:
+        """A consistent snapshot of the node's operational counters —
+        what an operator's dashboard would scrape."""
+        with self._lock:
+            connected_clients = sorted(
+                name for name, session in self._sessions.items() if session.is_connected
+            )
+            return {
+                "broker": self.name,
+                "subscriptions": self.subscription_count,
+                "events_routed": self.events_routed,
+                "events_delivered": self.events_delivered,
+                "connected_brokers": sorted(
+                    name for name, c in self._broker_connections.items() if c.is_open
+                ),
+                "connected_clients": connected_clients,
+                "sessions": len(self._sessions),
+                "logged_entries": sum(
+                    len(session.log) for session in self._sessions.values()
+                ),
+                "acks_since_gc": self._acks_since_gc,
+            }
+
+    @property
+    def subscription_count(self) -> int:
+        return self.router.subscription_count
+
+    @property
+    def connected_brokers(self) -> List[str]:
+        with self._lock:
+            return sorted(
+                name for name, c in self._broker_connections.items() if c.is_open
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"BrokerNode({self.name!r}, {self.subscription_count} subscriptions, "
+            f"{len(self._broker_connections)} broker links)"
+        )

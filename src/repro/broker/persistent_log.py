@@ -1,0 +1,152 @@
+"""Disk-backed per-client event logs.
+
+The in-memory :class:`~repro.broker.event_log.EventLog` survives client
+crashes; this variant also survives *broker* restarts, extending the
+Section 4.2 reliability story ("robust enough to handle transient failures
+of connections") to broker failures.
+
+Layout, one pair of files per client under the log directory:
+
+* ``<client>.log`` — append-only records ``u64 seq | u32 length | payload``;
+* ``<client>.ack`` — the cumulative ack watermark (8 bytes), rewritten
+  atomically (`os.replace`) on every ack.
+
+`collect()` compacts by rewriting the live suffix to a temporary file and
+atomically replacing the log — a crash at any point leaves either the old
+or the new file, both correct.  The class keeps an in-memory mirror for
+queries, so reads never touch the disk after construction.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import struct
+from collections import OrderedDict
+from typing import List, Tuple, Union
+
+from repro.errors import ProtocolError, TransportError
+
+_RECORD_HEADER = struct.Struct(">QI")
+_WATERMARK = struct.Struct(">Q")
+
+#: Characters allowed in client names used as file stems.
+_SAFE = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+
+def _safe_stem(client_name: str) -> str:
+    """File-system-safe stem for a client name (escape anything unusual)."""
+    if client_name and set(client_name) <= _SAFE and client_name not in (".", ".."):
+        return client_name
+    return "x" + client_name.encode("utf-8").hex()
+
+
+class FileEventLog:
+    """A drop-in replacement for :class:`EventLog` persisted to disk."""
+
+    def __init__(self, client_name: str, directory: Union[str, pathlib.Path]) -> None:
+        self.client_name = client_name
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        stem = _safe_stem(client_name)
+        self._log_path = self.directory / f"{stem}.log"
+        self._ack_path = self.directory / f"{stem}.ack"
+        self._entries: "OrderedDict[int, bytes]" = OrderedDict()
+        self._acked = 0
+        self._next_seq = 1
+        self._load()
+        self._log_file = open(self._log_path, "ab")
+
+    # ------------------------------------------------------------------
+    # Recovery
+
+    def _load(self) -> None:
+        if self._ack_path.exists():
+            data = self._ack_path.read_bytes()
+            if len(data) == _WATERMARK.size:
+                (self._acked,) = _WATERMARK.unpack(data)
+        if not self._log_path.exists():
+            self._next_seq = self._acked + 1
+            return
+        highest = self._acked
+        with open(self._log_path, "rb") as log_file:
+            while True:
+                header = log_file.read(_RECORD_HEADER.size)
+                if len(header) < _RECORD_HEADER.size:
+                    break  # clean EOF or torn final header: stop replaying
+                seq, length = _RECORD_HEADER.unpack(header)
+                payload = log_file.read(length)
+                if len(payload) < length:
+                    break  # torn final record from a crash mid-append
+                highest = max(highest, seq)
+                if seq > self._acked:
+                    self._entries[seq] = payload
+        self._next_seq = highest + 1
+
+    # ------------------------------------------------------------------
+    # EventLog interface
+
+    def append(self, event_data: bytes) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        record = _RECORD_HEADER.pack(seq, len(event_data)) + event_data
+        self._log_file.write(record)
+        self._log_file.flush()
+        self._entries[seq] = event_data
+        return seq
+
+    def ack(self, seq: int) -> None:
+        if seq >= self._next_seq:
+            raise ProtocolError(
+                f"client {self.client_name!r} acked seq {seq}, which was never sent"
+            )
+        if seq <= self._acked:
+            return
+        self._acked = seq
+        temporary = self._ack_path.with_suffix(".ack.tmp")
+        temporary.write_bytes(_WATERMARK.pack(seq))
+        os.replace(temporary, self._ack_path)
+
+    @property
+    def acked(self) -> int:
+        return self._acked
+
+    @property
+    def last_seq(self) -> int:
+        return self._next_seq - 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries_after(self, seq: int) -> List[Tuple[int, bytes]]:
+        return [(s, data) for s, data in self._entries.items() if s > seq]
+
+    def collect(self) -> int:
+        """Compact: drop acked entries from memory and rewrite the log file
+        with only the live suffix (atomic replace)."""
+        stale = [seq for seq in self._entries if seq <= self._acked]
+        if not stale:
+            return 0
+        for seq in stale:
+            del self._entries[seq]
+        temporary = self._log_path.with_suffix(".log.tmp")
+        with open(temporary, "wb") as fresh:
+            for seq, payload in self._entries.items():
+                fresh.write(_RECORD_HEADER.pack(seq, len(payload)) + payload)
+            fresh.flush()
+        self._log_file.close()
+        os.replace(temporary, self._log_path)
+        self._log_file = open(self._log_path, "ab")
+        return len(stale)
+
+    def close(self) -> None:
+        """Flush and close file handles (safe to call more than once)."""
+        if not self._log_file.closed:
+            self._log_file.flush()
+            self._log_file.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"FileEventLog({self.client_name!r}, {len(self._entries)} entries, "
+            f"acked={self._acked}, next={self._next_seq}, at {self._log_path})"
+        )

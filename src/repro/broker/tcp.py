@@ -1,0 +1,262 @@
+"""TCP transport — the prototype's real network layer (Section 4.2).
+
+Mirrors the paper's design: "To improve scalability, it implements an
+asynchronous 'send' operation by maintaining a set of outgoing queues, one
+per connection.  A broker thread sends a message by en-queueing it in the
+appropriate queue.  A pool of sending threads is responsible for monitoring
+these queues for outgoing messages, and sending them to destinations using
+the underlying network protocol."
+
+* Framing: 4-byte big-endian payload length + payload.
+* Each connection has a receiver thread (blocking reads, frame reassembly,
+  ``on_message`` callbacks) and an unbounded outgoing queue.
+* A :class:`SenderPool` shared by the whole transport drains ready
+  connections round-robin; ``send`` never blocks on the socket.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import struct
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.errors import ConnectionClosedError, TransportError
+from repro.broker.transport import AcceptHandler, Connection, Listener, Transport
+
+_LENGTH = struct.Struct(">I")
+#: Frames above this are rejected as corrupt rather than allocated.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+def parse_endpoint(endpoint: str) -> Tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``."""
+    host, separator, port_text = endpoint.rpartition(":")
+    if not separator or not host:
+        raise TransportError(f"endpoint must look like host:port, got {endpoint!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise TransportError(f"invalid port in endpoint {endpoint!r}") from None
+    return host, port
+
+
+class SenderPool:
+    """The paper's pool of sending threads.
+
+    Connections with queued output register themselves on a ready queue;
+    pool threads pop a connection, drain a batch from its outgoing queue to
+    the socket, and re-register it if output remains.  One connection is
+    never drained by two threads at once (the ``_draining`` flag).
+    """
+
+    def __init__(self, num_threads: int = 2) -> None:
+        if num_threads < 1:
+            raise TransportError("sender pool needs at least one thread")
+        self._ready: "queue.Queue[Optional[TcpConnection]]" = queue.Queue()
+        self._threads = [
+            threading.Thread(target=self._run, name=f"sender-{i}", daemon=True)
+            for i in range(num_threads)
+        ]
+        self._closed = False
+        for thread in self._threads:
+            thread.start()
+
+    def notify(self, connection: "TcpConnection") -> None:
+        if not self._closed:
+            self._ready.put(connection)
+
+    def close(self) -> None:
+        self._closed = True
+        for _thread in self._threads:
+            self._ready.put(None)
+
+    def _run(self) -> None:
+        while True:
+            connection = self._ready.get()
+            if connection is None:
+                return
+            connection._drain()
+
+
+class TcpConnection(Connection):
+    """One TCP socket with framing, a receiver thread and an outgoing queue."""
+
+    def __init__(self, sock: socket.socket, pool: SenderPool) -> None:
+        super().__init__()
+        self._socket = sock
+        self._pool = pool
+        self._outgoing: Deque[bytes] = deque()
+        self._lock = threading.Lock()
+        self._draining = False
+        self._open = True
+        self._receiver = threading.Thread(target=self._receive_loop, daemon=True)
+
+    def start(self) -> None:
+        """Begin receiving (called once handlers are attached).  Idempotent —
+        accepted connections are started by the listener, and a node calling
+        ``start`` again per the base-class contract is harmless."""
+        if not self._receiver.is_alive() and self._open:
+            try:
+                self._receiver.start()
+            except RuntimeError:
+                pass  # raced with another starter; the thread is running
+
+    def send(self, payload: bytes) -> None:
+        if not self._open:
+            raise ConnectionClosedError("connection is closed")
+        frame = _LENGTH.pack(len(payload)) + payload
+        with self._lock:
+            self._outgoing.append(frame)
+            should_notify = not self._draining
+        if should_notify:
+            self._pool.notify(self)
+
+    def _drain(self) -> None:
+        """Called by a pool thread: flush the outgoing queue to the socket."""
+        with self._lock:
+            if self._draining:
+                return
+            self._draining = True
+        try:
+            while True:
+                with self._lock:
+                    if not self._outgoing:
+                        return
+                    frame = self._outgoing.popleft()
+                try:
+                    self._socket.sendall(frame)
+                except OSError:
+                    self._close_from_error()
+                    return
+        finally:
+            with self._lock:
+                self._draining = False
+
+    def _receive_loop(self) -> None:
+        try:
+            while self._open:
+                header = self._read_exact(_LENGTH.size)
+                if header is None:
+                    break
+                (length,) = _LENGTH.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    break
+                payload = self._read_exact(length)
+                if payload is None:
+                    break
+                handler = self.on_message
+                if handler is not None:
+                    handler(payload)
+        finally:
+            self._close_from_error()
+
+    def _read_exact(self, count: int) -> Optional[bytes]:
+        chunks = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = self._socket.recv(remaining)
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        if not self._open:
+            return
+        self._open = False
+        try:
+            self._socket.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._socket.close()
+
+    def _close_from_error(self) -> None:
+        if not self._open:
+            return
+        self.close()
+        handler = self.on_close
+        if handler is not None:
+            handler()
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+
+class _TcpListener(Listener):
+    def __init__(self, sock: socket.socket, transport: "TcpTransport", on_accept: AcceptHandler) -> None:
+        self._socket = sock
+        self._transport = transport
+        self._on_accept = on_accept
+        self._open = True
+        self._thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self._socket.getsockname()[1]
+
+    def _accept_loop(self) -> None:
+        while self._open:
+            try:
+                client_socket, _address = self._socket.accept()
+            except OSError:
+                return
+            client_socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            connection = TcpConnection(client_socket, self._transport.pool)
+            self._on_accept(connection)
+            connection.start()
+
+    def close(self) -> None:
+        self._open = False
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+
+class TcpTransport(Transport):
+    """TCP transport with a shared sender pool (see module docstring).
+
+    Note for acceptors: ``on_accept`` runs on the accept thread and must
+    attach ``on_message`` *before* returning — reception starts immediately
+    after.
+    """
+
+    def __init__(self, *, sender_threads: int = 2) -> None:
+        self.pool = SenderPool(sender_threads)
+        self._listeners: list = []
+
+    def listen(self, endpoint: str, on_accept: AcceptHandler) -> _TcpListener:
+        host, port = parse_endpoint(endpoint)
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.listen(64)
+        listener = _TcpListener(sock, self, on_accept)
+        self._listeners.append(listener)
+        return listener
+
+    def connect(self, endpoint: str) -> TcpConnection:
+        host, port = parse_endpoint(endpoint)
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.connect((host, port))
+        except OSError as exc:
+            sock.close()
+            raise TransportError(f"cannot connect to {endpoint!r}: {exc}") from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        connection = TcpConnection(sock, self.pool)
+        return connection
+
+    def close(self) -> None:
+        for listener in self._listeners:
+            listener.close()
+        self.pool.close()

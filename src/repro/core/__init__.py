@@ -1,0 +1,41 @@
+"""The paper's contribution: link matching.  Trit algebra, PST annotations,
+virtual links and initialization masks, the refinement search, per-broker
+routers, and the untimed content-routed network fabric."""
+
+from repro.core.annotation import TreeAnnotation
+from repro.core.fabric import ContentRoutedNetwork, DeliveryTrace
+from repro.core.link_matcher import LinkMatcher, LinkMatchResult
+from repro.core.masks import VirtualLink, VirtualLinkTable
+from repro.core.router import ContentRouter, RouteDecision
+from repro.core.trits import (
+    M,
+    N,
+    Trit,
+    TritVector,
+    Y,
+    alternative_combine,
+    alternative_combine_all,
+    parallel_combine,
+    parallel_combine_all,
+)
+
+__all__ = [
+    "ContentRoutedNetwork",
+    "ContentRouter",
+    "DeliveryTrace",
+    "LinkMatchResult",
+    "LinkMatcher",
+    "M",
+    "N",
+    "RouteDecision",
+    "TreeAnnotation",
+    "Trit",
+    "TritVector",
+    "VirtualLink",
+    "VirtualLinkTable",
+    "Y",
+    "alternative_combine",
+    "alternative_combine_all",
+    "parallel_combine",
+    "parallel_combine_all",
+]

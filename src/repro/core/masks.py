@@ -1,0 +1,173 @@
+"""Virtual links and initialization masks — Section 3.2 and footnote 1.
+
+For each spanning tree, a broker needs a per-link *initialization mask*:
+Maybe on links leading to downstream destinations, No elsewhere.  Matching
+then refines every Maybe to Yes or No.
+
+A single physical link can serve destinations that are downstream on some
+spanning trees and not on others (lateral links make this real in the
+Figure 6 topology).  Annotating per *physical* link would then conflate
+subscribers that this tree should reach through the link with subscribers it
+must not — producing spurious forwards or duplicate deliveries.  The paper's
+footnote 1 resolves this by "splitting the link into two or more virtual
+links"; this module implements that splitting in general form:
+
+Destinations routed through the same physical link are partitioned by their
+*downstream signature* — the set of spanning trees under which they are
+downstream of this broker.  Each partition class is one **virtual link**, and
+trit vectors (annotations, masks) have one position per virtual link.  In a
+pure tree topology every physical link has exactly one class, so virtual
+links collapse to the paper's simple one-trit-per-link scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import RoutingError
+from repro.core.trits import M, N, TritVector
+from repro.network.paths import RoutingTable
+from repro.network.spanning import SpanningTree
+from repro.network.topology import Topology
+
+
+class VirtualLink:
+    """One trit position of a broker: a physical neighbor link plus the
+    downstream signature shared by the destinations it carries."""
+
+    __slots__ = ("position", "neighbor", "downstream_roots", "destinations")
+
+    def __init__(
+        self,
+        position: int,
+        neighbor: str,
+        downstream_roots: FrozenSet[str],
+        destinations: Tuple[str, ...],
+    ) -> None:
+        self.position = position
+        self.neighbor = neighbor
+        self.downstream_roots = downstream_roots
+        self.destinations = destinations
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualLink(#{self.position} via {self.neighbor!r}, "
+            f"{len(self.destinations)} destinations, "
+            f"downstream for {sorted(self.downstream_roots)!r})"
+        )
+
+
+class VirtualLinkTable:
+    """A broker's virtual links and per-spanning-tree initialization masks.
+
+    Parameters
+    ----------
+    topology / broker:
+        The network and the broker this table belongs to.
+    routing_table:
+        The broker's routing table (canonical next hops).
+    spanning_trees:
+        All spanning trees in use, keyed by root broker (one per
+        publisher-hosting broker — see
+        :func:`repro.network.spanning.spanning_trees_for_publishers`).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        broker: str,
+        routing_table: RoutingTable,
+        spanning_trees: Mapping[str, SpanningTree],
+    ) -> None:
+        if topology.node(broker).kind.is_client:
+            raise RoutingError(f"virtual link tables belong to brokers, not {broker!r}")
+        self.topology = topology
+        self.broker = broker
+        self.spanning_trees = dict(spanning_trees)
+        self._position_of: Dict[str, int] = {}
+        self.virtual_links: List[VirtualLink] = []
+        self._build(routing_table)
+        self._masks: Dict[str, TritVector] = {
+            root: self._initialization_mask(root) for root in self.spanning_trees
+        }
+
+    def _build(self, routing_table: RoutingTable) -> None:
+        groups: Dict[Tuple[str, FrozenSet[str]], List[str]] = {}
+        local_clients = set(self.topology.clients_of(self.broker))
+        for destination in self.topology.clients():
+            if destination in local_clients:
+                neighbor = destination
+            else:
+                neighbor = routing_table.next_hop(destination)
+            signature = frozenset(
+                root
+                for root, tree in self.spanning_trees.items()
+                if tree.is_downstream(destination, self.broker)
+            )
+            groups.setdefault((neighbor, signature), []).append(destination)
+        for (neighbor, signature), destinations in sorted(
+            groups.items(), key=lambda item: (item[0][0], sorted(item[0][1]))
+        ):
+            position = len(self.virtual_links)
+            virtual = VirtualLink(position, neighbor, signature, tuple(sorted(destinations)))
+            self.virtual_links.append(virtual)
+            for destination in destinations:
+                self._position_of[destination] = position
+
+    def _initialization_mask(self, root: str) -> TritVector:
+        """Maybe on virtual links whose destinations are downstream of this
+        broker in the tree rooted at ``root``, No elsewhere."""
+        return TritVector(
+            M if root in virtual.downstream_roots else N
+            for virtual in self.virtual_links
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_links(self) -> int:
+        """Number of virtual links (= trit vector length at this broker)."""
+        return len(self.virtual_links)
+
+    def position_of(self, destination: str) -> int:
+        """The virtual-link position through which ``destination`` is reached."""
+        try:
+            return self._position_of[destination]
+        except KeyError:
+            raise RoutingError(
+                f"{destination!r} is not a client destination known to {self.broker!r}"
+            ) from None
+
+    def neighbor_of_position(self, position: int) -> str:
+        """The physical neighbor carrying virtual link ``position``."""
+        try:
+            return self.virtual_links[position].neighbor
+        except IndexError:
+            raise RoutingError(f"no virtual link #{position} at {self.broker!r}") from None
+
+    def initialization_mask(self, root: str) -> TritVector:
+        """The broker's mask for the spanning tree rooted at ``root``."""
+        try:
+            return self._masks[root]
+        except KeyError:
+            raise RoutingError(
+                f"no spanning tree rooted at {root!r} registered with {self.broker!r}"
+            ) from None
+
+    def neighbors_for_mask(self, mask: TritVector) -> List[str]:
+        """Distinct physical neighbors behind the mask's Yes positions."""
+        return sorted({self.virtual_links[p].neighbor for p in mask.yes_positions()})
+
+    @property
+    def split_count(self) -> int:
+        """How many physical links were split into multiple virtual links."""
+        per_neighbor: Dict[str, int] = {}
+        for virtual in self.virtual_links:
+            per_neighbor[virtual.neighbor] = per_neighbor.get(virtual.neighbor, 0) + 1
+        return sum(1 for count in per_neighbor.values() if count > 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualLinkTable({self.broker!r}, {self.num_links} virtual links, "
+            f"{self.split_count} split)"
+        )

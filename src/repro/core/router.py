@@ -1,0 +1,241 @@
+"""A broker's content router: PST copy + annotations + masks + link matching.
+
+Per the paper, "each broker in the network has a copy of all the
+subscriptions, organized into a PST" (Section 3.1).  A :class:`ContentRouter`
+is that per-broker state:
+
+* the broker's matcher (a plain :class:`ParallelSearchTree` or a
+  :class:`FactoredMatcher` when factoring is enabled),
+* its :class:`VirtualLinkTable` (virtual links + one initialization mask per
+  spanning tree),
+* the trit-vector annotations of the matcher's tree(s), recomputed lazily
+  after subscription changes,
+* :meth:`route` — run the Section 3.3 refinement for an event arriving on a
+  given spanning tree and return the neighbors to forward to.
+
+Routers do not move messages themselves; the fabric
+(:class:`repro.core.fabric.ContentRoutedNetwork`) and the simulator drive
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import RoutingError
+from repro.core.annotation import TreeAnnotation
+from repro.core.link_matcher import LinkMatcher, LinkMatchResult
+from repro.core.masks import VirtualLinkTable
+from repro.core.trits import TritVector
+from repro.matching.events import Event
+from repro.matching.optimizations import FactoredMatcher
+from repro.matching.pst import MatchResult, ParallelSearchTree
+from repro.matching.predicates import Subscription
+from repro.matching.schema import AttributeValue, EventSchema
+from repro.network.paths import RoutingTable
+from repro.network.spanning import SpanningTree
+from repro.network.topology import NodeKind, Topology
+
+
+class RouteDecision:
+    """What a broker decided for one event: neighbors to send to, split into
+    next-hop brokers and locally attached clients, plus the matching steps
+    spent deciding."""
+
+    __slots__ = ("broker", "forward_to", "deliver_to", "steps", "mask")
+
+    def __init__(
+        self,
+        broker: str,
+        forward_to: List[str],
+        deliver_to: List[str],
+        steps: int,
+        mask: TritVector,
+    ) -> None:
+        self.broker = broker
+        self.forward_to = forward_to
+        self.deliver_to = deliver_to
+        self.steps = steps
+        self.mask = mask
+
+    def __repr__(self) -> str:
+        return (
+            f"RouteDecision({self.broker!r} -> brokers {self.forward_to!r}, "
+            f"clients {self.deliver_to!r}, {self.steps} steps)"
+        )
+
+
+class ContentRouter:
+    """Per-broker link-matching state (see module docstring)."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        broker: str,
+        routing_table: RoutingTable,
+        spanning_trees: Mapping[str, SpanningTree],
+        schema: EventSchema,
+        *,
+        attribute_order: Optional[Sequence[str]] = None,
+        domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
+        factoring_attributes: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.topology = topology
+        self.broker = broker
+        self.schema = schema
+        # Declared domains are a *contract*: annotation treats them as the
+        # exhaustive value universe (that is what lets a covered level
+        # promote to Yes, and what makes range annotations precise), so
+        # routed events must honor them — route() enforces it.
+        self.domains: Dict[str, frozenset] = (
+            {name: frozenset(values) for name, values in domains.items()}
+            if domains
+            else {}
+        )
+        self.links = VirtualLinkTable(topology, broker, routing_table, spanning_trees)
+        self._factored: Optional[FactoredMatcher] = None
+        self._tree: Optional[ParallelSearchTree] = None
+        if factoring_attributes:
+            if domains is None:
+                raise RoutingError("factoring requires finite attribute domains")
+            self._factored = FactoredMatcher(
+                schema,
+                factoring_attributes,
+                domains,
+                residual_order=(
+                    [n for n in attribute_order if n not in factoring_attributes]
+                    if attribute_order is not None
+                    else None
+                ),
+            )
+        else:
+            self._tree = ParallelSearchTree(
+                schema, attribute_order=attribute_order, domains=domains
+            )
+        self._annotations: Dict[int, Tuple[TreeAnnotation, LinkMatcher]] = {}
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Subscription maintenance
+
+    @property
+    def matcher(self) -> Union[ParallelSearchTree, FactoredMatcher]:
+        """The underlying matcher (useful for inspection and local matching)."""
+        return self._factored if self._factored is not None else self._tree
+
+    def add_subscription(self, subscription: Subscription) -> None:
+        """Register a subscription (its ``subscriber`` must be a client).
+
+        When the router is already annotated (plain-tree matcher), the
+        annotation is updated incrementally along the subscription's path
+        instead of recomputing the whole tree.
+        """
+        self.links.position_of(subscription.subscriber)  # validates early
+        self.matcher.insert(subscription)
+        if not self._update_annotations_incrementally(subscription):
+            self._dirty = True
+
+    def remove_subscription(self, subscription_id: int) -> Subscription:
+        subscription = self.matcher.remove(subscription_id)
+        if not self._update_annotations_incrementally(subscription):
+            self._dirty = True
+        return subscription
+
+    def _update_annotations_incrementally(self, subscription: Subscription) -> bool:
+        """Patch the annotation along one subscription's path.  Only valid
+        for the plain-tree matcher (the factored matcher compacts its trees
+        on the next route, which restructures them) and only when a current
+        full annotation exists."""
+        if self._factored is not None or self._dirty or self._tree is None:
+            return False
+        pair = self._annotations.get(id(self._tree))
+        if pair is None:
+            return False
+        annotation, _link_matcher = pair
+        annotation.update_path(self._tree, subscription.predicate)
+        return True
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self.matcher.subscriptions)
+
+    def _link_of_subscriber(self, subscription: Subscription) -> int:
+        return self.links.position_of(subscription.subscriber)
+
+    def _refresh_annotations(self) -> None:
+        self._annotations.clear()
+        for tree in self._trees_to_annotate():
+            annotation = TreeAnnotation(self.links.num_links, self._link_of_subscriber)
+            annotation.annotate(tree)
+            self._annotations[id(tree)] = (annotation, LinkMatcher(tree, annotation))
+        self._dirty = False
+
+    def _trees_to_annotate(self) -> List[ParallelSearchTree]:
+        if self._factored is not None:
+            return [tree for _key, tree in self._factored.trees()]
+        assert self._tree is not None
+        return [self._tree]
+
+    # ------------------------------------------------------------------
+    # Routing
+
+    def route(self, event: Event, tree_root: str) -> RouteDecision:
+        """Run link matching for an event traveling on the spanning tree
+        rooted at ``tree_root`` and decide this broker's sends.
+
+        Raises :class:`RoutingError` if the event violates a declared
+        attribute domain — annotations assume domains are exhaustive, so an
+        out-of-domain value could be routed unsoundly.
+        """
+        self._check_domains(event)
+        if self._factored is not None:
+            self._factored.compact()
+        if self._dirty:
+            self._refresh_annotations()
+        mask = self.links.initialization_mask(tree_root)
+        tree = self._tree_for_event(event)
+        if tree is None:
+            final = LinkMatchResult(mask.close_maybes(), 1)
+        else:
+            annotation_pair = self._annotations.get(id(tree))
+            if annotation_pair is None:
+                raise RoutingError("matcher tree appeared after annotation refresh")
+            final = annotation_pair[1].match_links(event, mask)
+        neighbors = self.links.neighbors_for_mask(final.mask)
+        forward_to: List[str] = []
+        deliver_to: List[str] = []
+        for neighbor in neighbors:
+            if self.topology.node(neighbor).kind.is_client:
+                deliver_to.append(neighbor)
+            else:
+                forward_to.append(neighbor)
+        return RouteDecision(self.broker, forward_to, deliver_to, final.steps, final.mask)
+
+    def _check_domains(self, event: Event) -> None:
+        if not self.domains:
+            return
+        for name, domain in self.domains.items():
+            value = event.value(name)
+            if value not in domain:
+                raise RoutingError(
+                    f"event value {value!r} for attribute {name!r} is outside "
+                    f"the declared domain — routed events must honor declared "
+                    f"domains (they are treated as exhaustive)"
+                )
+
+    def _tree_for_event(self, event: Event) -> Optional[ParallelSearchTree]:
+        if self._factored is not None:
+            return self._factored.tree_for_event(event)
+        return self._tree
+
+    def match_locally(self, event: Event) -> MatchResult:
+        """Full (non-trit) matching against the broker's subscription copy —
+        the centralized algorithm of Section 2, used by the match-first and
+        flooding baselines and by Chart 2's "centralized" line."""
+        return self.matcher.match(event)
+
+    def __repr__(self) -> str:
+        return (
+            f"ContentRouter({self.broker!r}, {self.subscription_count} subscriptions, "
+            f"{self.links.num_links} virtual links)"
+        )

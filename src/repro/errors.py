@@ -1,0 +1,69 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+downstream users can catch all library failures with a single ``except``
+clause while still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """An event schema was malformed or used inconsistently."""
+
+
+class EventError(ReproError):
+    """An event did not conform to its information space's schema."""
+
+
+class PredicateError(ReproError):
+    """A subscription predicate was malformed."""
+
+
+class ParseError(PredicateError):
+    """A subscription expression string could not be parsed.
+
+    Carries the position in the source text where parsing failed, when known.
+    """
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class SubscriptionError(ReproError):
+    """A subscription could not be added, found, or removed."""
+
+
+class TopologyError(ReproError):
+    """The broker network topology was malformed (disconnected, unknown node,
+    duplicate link, ...)."""
+
+
+class RoutingError(ReproError):
+    """Routing state (spanning trees, masks, routing tables) was inconsistent
+    with the topology or the request."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was misconfigured or driven incorrectly."""
+
+
+class TransportError(ReproError):
+    """A prototype-broker transport operation failed."""
+
+
+class ConnectionClosedError(TransportError):
+    """The peer connection is closed; the operation cannot proceed."""
+
+
+class ProtocolError(ReproError):
+    """A broker/client wire-protocol violation was detected."""
+
+
+class CodecError(ProtocolError):
+    """An event or message could not be marshalled or unmarshalled."""

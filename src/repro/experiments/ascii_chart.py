@@ -1,0 +1,137 @@
+"""Terminal (ASCII) rendering of experiment series.
+
+The paper presents its evaluation as line charts; this module renders the
+same series as dependency-free ASCII plots so the CLI and EXPERIMENTS.md can
+show shapes, not just tables.  One glyph per series, points interpolated
+onto a character grid, log-scale option for saturation rates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Glyphs assigned to series in declaration order.
+SERIES_GLYPHS = "*o+x#@%&"
+
+
+class Series:
+    """One named line: sorted (x, y) points."""
+
+    def __init__(self, name: str, points: Sequence[Tuple[float, float]]) -> None:
+        self.name = name
+        self.points = sorted((float(x), float(y)) for x, y in points)
+
+    def __repr__(self) -> str:
+        return f"Series({self.name!r}, {len(self.points)} points)"
+
+
+def render_chart(
+    title: str,
+    series: Sequence[Series],
+    *,
+    width: int = 64,
+    height: int = 16,
+    y_log: bool = False,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render series onto a character grid with axes and a legend."""
+    drawable = [s for s in series if s.points]
+    if not drawable:
+        return f"{title}\n(no data)"
+    xs = [x for s in drawable for x, _y in s.points]
+    ys = [y for s in drawable for _x, y in s.points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if y_log:
+        if y_low <= 0:
+            raise ValueError("log scale requires positive y values")
+        y_low, y_high = math.log10(y_low), math.log10(y_high)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, glyph: str) -> None:
+        if y_log:
+            y = math.log10(y)
+        column = round((x - x_low) / x_span * (width - 1))
+        row = height - 1 - round((y - y_low) / y_span * (height - 1))
+        grid[row][column] = glyph
+
+    for index, one_series in enumerate(drawable):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        previous: Optional[Tuple[float, float]] = None
+        for x, y in one_series.points:
+            if previous is not None:
+                _draw_segment(plot, previous, (x, y), glyph, steps=width)
+            plot(x, y, glyph)
+            previous = (x, y)
+
+    def y_tick(value: float) -> str:
+        real = 10**value if y_log else value
+        return f"{real:>10.4g}"
+
+    lines = [title]
+    if y_label:
+        lines.append(f"  {y_label}{' (log scale)' if y_log else ''}")
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1) if height > 1 else 1.0
+        tick = (
+            y_tick(y_low + fraction * y_span)
+            if row_index in (0, height // 2, height - 1)
+            else " " * 10
+        )
+        lines.append(f"{tick} |{''.join(row)}")
+    lines.append(" " * 10 + "+" + "-" * width)
+    left = f"{x_low:.4g}"
+    right = f"{x_high:.4g}"
+    middle = x_label or ""
+    padding = max(1, width - len(left) - len(right) - len(middle))
+    lines.append(
+        " " * 11 + left + " " * (padding // 2) + middle + " " * (padding - padding // 2) + right
+    )
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {s.name}" for i, s in enumerate(drawable)
+    )
+    lines.append(f"  legend: {legend}")
+    return "\n".join(lines)
+
+
+def _draw_segment(plot, start, end, glyph, steps: int) -> None:
+    """Linear interpolation between two points, in data space."""
+    (x0, y0), (x1, y1) = start, end
+    for i in range(1, steps):
+        t = i / steps
+        plot(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t, glyph)
+
+
+def chart1_series(table) -> List[Series]:
+    """Build Chart 1 series (one per protocol) from its ExperimentTable."""
+    grouped: Dict[str, List[Tuple[float, float]]] = {}
+    for count, protocol, rate, _probes in table.rows:
+        grouped.setdefault(protocol, []).append((count, rate))
+    return [Series(name, points) for name, points in sorted(grouped.items())]
+
+
+def chart2_series(table) -> List[Series]:
+    """Build Chart 2 series (LM per hop count + centralized)."""
+    series: List[Series] = []
+    for column in table.columns[1:]:
+        points = [
+            (row[0], value)
+            for row, value in zip(table.rows, table.column(column))
+            if value != ""
+        ]
+        series.append(Series(column, points))
+    return series
+
+
+def chart3_series(table) -> List[Series]:
+    return [
+        Series(
+            "avg_match_ms",
+            list(zip(table.column("subscriptions"), table.column("avg_match_ms"))),
+        )
+    ]

@@ -1,0 +1,55 @@
+"""Tabular results for experiment harnesses.
+
+Every experiment returns an :class:`ExperimentTable` — column names plus
+rows — with a plain-text formatter, so benchmarks and examples can print
+the same rows the paper's charts plot without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+
+class ExperimentTable:
+    """A titled table of experiment results."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[Any]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def format(self) -> str:
+        """Fixed-width text rendering."""
+        header = [str(c) for c in self.columns]
+        body = [[_format_cell(value) for value in row] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for row in body:
+            lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(header))))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ExperimentTable({self.title!r}, {len(self.rows)} rows)"
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

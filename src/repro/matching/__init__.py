@@ -1,0 +1,77 @@
+"""Content-based matching: schemas, events, predicates, and the Parallel
+Search Tree of Section 2 of the paper (plus its optimizations)."""
+
+from repro.matching.base import Matcher
+from repro.matching.events import Event
+from repro.matching.optimizations import OUT_OF_DOMAIN, DagNode, FactoredMatcher, SearchDag
+from repro.matching.ordering import (
+    declaration_order,
+    dont_care_counts,
+    order_by_fewest_dont_cares,
+    order_quality,
+    reverse_declaration_order,
+)
+from repro.matching.parser import parse_predicate, tokenize
+from repro.matching.predicates import (
+    DONT_CARE,
+    AttributeTest,
+    DontCare,
+    EqualityTest,
+    IntervalTest,
+    Predicate,
+    RangeOp,
+    RangeTest,
+    Subscription,
+    normalize_tests,
+)
+from repro.matching.pst import MatchResult, ParallelSearchTree, PSTNode, build_pst
+from repro.matching.subsumption import covers, predicate_subsumes, redundant_subscriptions
+from repro.matching.schema import (
+    Attribute,
+    AttributeType,
+    AttributeValue,
+    EventSchema,
+    InformationSpace,
+    stock_trade_schema,
+    uniform_schema,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeTest",
+    "AttributeType",
+    "AttributeValue",
+    "DONT_CARE",
+    "DagNode",
+    "DontCare",
+    "EqualityTest",
+    "Event",
+    "EventSchema",
+    "FactoredMatcher",
+    "InformationSpace",
+    "IntervalTest",
+    "MatchResult",
+    "Matcher",
+    "OUT_OF_DOMAIN",
+    "ParallelSearchTree",
+    "PSTNode",
+    "Predicate",
+    "RangeOp",
+    "RangeTest",
+    "SearchDag",
+    "Subscription",
+    "build_pst",
+    "covers",
+    "declaration_order",
+    "dont_care_counts",
+    "normalize_tests",
+    "order_by_fewest_dont_cares",
+    "order_quality",
+    "parse_predicate",
+    "predicate_subsumes",
+    "redundant_subscriptions",
+    "reverse_declaration_order",
+    "stock_trade_schema",
+    "tokenize",
+    "uniform_schema",
+]

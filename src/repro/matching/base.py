@@ -1,0 +1,61 @@
+"""The informal matcher interface shared by all matching engines.
+
+:class:`ParallelSearchTree`, :class:`FactoredMatcher` and :class:`SearchDag`
+all expose the same surface; components that only *consume* a matcher (the
+broker engine, the simulator's protocols, the benchmarks) type against this
+ABC.  Python duck typing would suffice, but the ABC documents the contract
+and gives a single place to explain the semantics.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+from repro.matching.events import Event
+from repro.matching.pst import MatchResult
+from repro.matching.predicates import Subscription
+
+
+class Matcher(abc.ABC):
+    """Anything that can match events against a mutable set of subscriptions.
+
+    Contract:
+
+    * :meth:`match` returns exactly the subscriptions whose predicates are
+      satisfied by the event (same set as evaluating every predicate
+      directly), plus the number of matching steps taken;
+    * :meth:`insert` / :meth:`remove` update the set, addressed by
+      ``subscription_id``;
+    * ``subscriptions`` lists the currently registered subscriptions.
+    """
+
+    @abc.abstractmethod
+    def insert(self, subscription: Subscription) -> None:
+        """Register a subscription."""
+
+    @abc.abstractmethod
+    def remove(self, subscription_id: int) -> Subscription:
+        """Unregister and return the subscription with the given id."""
+
+    @abc.abstractmethod
+    def match(self, event: Event) -> MatchResult:
+        """Find all satisfied subscriptions."""
+
+    @property
+    @abc.abstractmethod
+    def subscriptions(self) -> List[Subscription]:
+        """The registered subscriptions (order unspecified)."""
+
+
+# The concrete matchers satisfy the interface structurally; register them so
+# isinstance checks work without forcing inheritance into the hot classes.
+def _register_implementations() -> None:
+    from repro.matching.optimizations import FactoredMatcher
+    from repro.matching.pst import ParallelSearchTree
+
+    Matcher.register(ParallelSearchTree)
+    Matcher.register(FactoredMatcher)
+
+
+_register_implementations()

@@ -1,0 +1,113 @@
+"""Events — the unit of information published into an information space.
+
+An :class:`Event` is an immutable, schema-validated tuple of attribute values
+plus optional delivery metadata (a publisher id and a sequence number, used by
+the prototype broker's reliable-delivery log and by the simulator to track
+individual events end to end).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.errors import EventError, SchemaError
+from repro.matching.schema import AttributeValue, EventSchema
+
+_event_ids = itertools.count(1)
+
+
+class Event:
+    """An immutable, validated event.
+
+    Values can be given as a mapping or positionally in schema order::
+
+        schema = stock_trade_schema()
+        Event(schema, {"issue": "IBM", "price": 119.5, "volume": 2000})
+        Event.from_tuple(schema, ("IBM", 119.5, 2000))
+
+    ``event_id`` is a process-local unique id assigned at construction; it is
+    *not* part of equality (two events with the same values compare equal) but
+    lets the simulator and broker logs track a specific published instance.
+    """
+
+    __slots__ = ("schema", "_values", "event_id", "publisher", "sequence")
+
+    def __init__(
+        self,
+        schema: EventSchema,
+        values: Mapping[str, AttributeValue],
+        *,
+        publisher: Optional[str] = None,
+        sequence: Optional[int] = None,
+    ) -> None:
+        try:
+            coerced = schema.validate_values(values)
+        except SchemaError as exc:
+            raise EventError(str(exc)) from exc
+        self.schema = schema
+        self._values: Dict[str, AttributeValue] = coerced
+        self.event_id = next(_event_ids)
+        self.publisher = publisher
+        self.sequence = sequence
+
+    @classmethod
+    def from_tuple(
+        cls,
+        schema: EventSchema,
+        values: Tuple[AttributeValue, ...],
+        *,
+        publisher: Optional[str] = None,
+        sequence: Optional[int] = None,
+    ) -> "Event":
+        """Build an event from values given in schema order."""
+        if len(values) != len(schema):
+            raise EventError(
+                f"expected {len(schema)} values for schema {schema!r}, got {len(values)}"
+            )
+        mapping = dict(zip(schema.names, values))
+        return cls(schema, mapping, publisher=publisher, sequence=sequence)
+
+    def value(self, name: str) -> AttributeValue:
+        """The value of attribute ``name``."""
+        try:
+            return self._values[name]
+        except KeyError:
+            raise EventError(f"event has no attribute {name!r}") from None
+
+    def __getitem__(self, name: str) -> AttributeValue:
+        return self.value(name)
+
+    @property
+    def values(self) -> Dict[str, AttributeValue]:
+        """A copy of the attribute map."""
+        return dict(self._values)
+
+    def as_tuple(self) -> Tuple[AttributeValue, ...]:
+        """Attribute values in schema order (as drawn in the paper's figures,
+        e.g. ``a = <1, 2, 3, 1, 2>``)."""
+        return self.schema.tuple_of(self._values)
+
+    def with_metadata(self, *, publisher: Optional[str] = None, sequence: Optional[int] = None) -> "Event":
+        """Return a copy carrying the given delivery metadata."""
+        return Event(
+            self.schema,
+            self._values,
+            publisher=publisher if publisher is not None else self.publisher,
+            sequence=sequence if sequence is not None else self.sequence,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.schema == other.schema and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash((self.schema, self.as_tuple()))
+
+    def __iter__(self) -> Iterator[AttributeValue]:
+        return iter(self.as_tuple())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._values.items())
+        return f"Event({inner})"

@@ -1,0 +1,477 @@
+"""The Parallel Search Tree (PST) — Section 2 of the paper.
+
+Subscriptions are organized into a tree in which each level tests one
+attribute (in a fixed order) and each root-to-leaf path spells out one
+predicate.  Branches out of a node are labeled with attribute tests:
+
+* **value branches** — equality tests, stored in a hash map keyed by value so
+  the applicable branch is found in O(1);
+* **range branches** — range/interval tests, scanned linearly (there are
+  normally few of them per node);
+* the ***-branch** — "don't care", followed *in parallel* with any applicable
+  value/range branch.
+
+Matching starts at the root and follows, at each node, every branch whose
+test accepts the event's value for that node's attribute, collecting the
+subscriptions stored at reached leaves.  The paper counts a *matching step*
+as the visitation of a single node; :class:`MatchResult` reports that count
+so Chart 2 can be regenerated.
+
+The tree also supports **trivial test elimination** (Section 2.1, item 2)
+natively: each node records which attribute it tests via
+``attribute_position``, so splicing out a node whose only child hangs off a
+``*``-branch simply promotes the child (see
+:meth:`ParallelSearchTree.eliminate_trivial_tests`).
+
+Optional per-attribute **domains** (the finite value sets used throughout the
+paper's simulations, e.g. "5 values per attribute") tighten the link-matching
+annotations of :mod:`repro.core.annotation`: when a node's value branches
+cover the whole domain, the annotator may skip the implicit all-No
+alternative for unlisted values.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import SubscriptionError
+from repro.matching.events import Event
+from repro.matching.predicates import (
+    DONT_CARE,
+    AttributeTest,
+    EqualityTest,
+    IntervalTest,
+    Predicate,
+    RangeTest,
+    Subscription,
+)
+from repro.matching.schema import AttributeValue, EventSchema
+
+_node_ids = itertools.count(1)
+
+
+class PSTNode:
+    """A node of the Parallel Search Tree.
+
+    ``attribute_position`` is the index (into the tree's attribute order) of
+    the attribute this node tests; it is ``None`` for leaves.  Children:
+
+    * ``value_branches`` maps an equality-test value to the child node,
+    * ``range_branches`` lists ``(test, child)`` pairs for range tests,
+    * ``star_child`` is the child along the ``*``-branch.
+
+    ``subscriptions`` is non-empty only at leaves.
+    """
+
+    __slots__ = (
+        "node_id",
+        "attribute_position",
+        "value_branches",
+        "range_branches",
+        "star_child",
+        "subscriptions",
+    )
+
+    def __init__(self, attribute_position: Optional[int]) -> None:
+        self.node_id = next(_node_ids)
+        self.attribute_position = attribute_position
+        self.value_branches: Dict[AttributeValue, "PSTNode"] = {}
+        self.range_branches: List[Tuple[AttributeTest, "PSTNode"]] = []
+        self.star_child: Optional["PSTNode"] = None
+        self.subscriptions: List[Subscription] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.attribute_position is None
+
+    def children(self) -> Iterator["PSTNode"]:
+        """All children: value branches, range branches, then the *-branch."""
+        yield from self.value_branches.values()
+        for _test, child in self.range_branches:
+            yield child
+        if self.star_child is not None:
+            yield self.star_child
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the node has no children and no subscriptions."""
+        return (
+            not self.value_branches
+            and not self.range_branches
+            and self.star_child is None
+            and not self.subscriptions
+        )
+
+    def __repr__(self) -> str:
+        if self.is_leaf:
+            return f"PSTNode(leaf, {len(self.subscriptions)} subs)"
+        return (
+            f"PSTNode(attr#{self.attribute_position}, "
+            f"{len(self.value_branches)} values, {len(self.range_branches)} ranges, "
+            f"star={self.star_child is not None})"
+        )
+
+
+class MatchResult:
+    """Outcome of a match: the satisfied subscriptions and the step count."""
+
+    __slots__ = ("subscriptions", "steps")
+
+    def __init__(self, subscriptions: List[Subscription], steps: int) -> None:
+        self.subscriptions = subscriptions
+        self.steps = steps
+
+    @property
+    def subscribers(self) -> Set[str]:
+        """The distinct subscriber identities among the matches."""
+        return {s.subscriber for s in self.subscriptions}
+
+    def __repr__(self) -> str:
+        return f"MatchResult({len(self.subscriptions)} subscriptions, {self.steps} steps)"
+
+
+class ParallelSearchTree:
+    """The PST over a schema, with insert, remove, and parallel-search match.
+
+    Parameters
+    ----------
+    schema:
+        The event schema.  Attributes are tested in the order given by
+        ``attribute_order`` (a permutation of schema names) or, by default,
+        schema declaration order.
+    attribute_order:
+        Optional explicit test order; see :mod:`repro.matching.ordering` for
+        heuristics that compute a good one.
+    domains:
+        Optional map from attribute name to its finite set of possible
+        values.  Only used to tighten link-matching annotations; matching
+        itself never needs it.
+    """
+
+    def __init__(
+        self,
+        schema: EventSchema,
+        *,
+        attribute_order: Optional[Sequence[str]] = None,
+        domains: Optional[Mapping[str, Iterable[AttributeValue]]] = None,
+    ) -> None:
+        self.schema = schema
+        if attribute_order is None:
+            order = tuple(schema.names)
+        else:
+            order = tuple(attribute_order)
+            if sorted(order) != sorted(schema.names):
+                raise SubscriptionError(
+                    f"attribute_order {list(order)!r} is not a permutation of the schema"
+                )
+        self.attribute_order: Tuple[str, ...] = order
+        self._positions: Tuple[int, ...] = tuple(schema.position_of(n) for n in order)
+        self.domains: Dict[str, FrozenSet[AttributeValue]] = {}
+        if domains:
+            for name, values in domains.items():
+                schema.position_of(name)  # validates the name
+                self.domains[name] = frozenset(values)
+        self.root = PSTNode(0)
+        self._by_id: Dict[int, Subscription] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, subscription_id: object) -> bool:
+        return subscription_id in self._by_id
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        """All registered subscriptions (unordered)."""
+        return list(self._by_id.values())
+
+    def attribute_at(self, position: int) -> str:
+        """Name of the attribute tested at tree level ``position``."""
+        return self.attribute_order[position]
+
+    def nodes(self) -> Iterator[PSTNode]:
+        """All nodes, preorder."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children())
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.nodes())
+
+    def domain_of(self, position: int) -> Optional[FrozenSet[AttributeValue]]:
+        """The declared finite domain of the attribute at ``position``, if any."""
+        return self.domains.get(self.attribute_order[position])
+
+    # ------------------------------------------------------------------
+    # Insert / remove
+
+    def _tests_in_order(self, predicate: Predicate) -> List[AttributeTest]:
+        return [predicate.tests[position] for position in self._positions]
+
+    def insert(self, subscription: Subscription) -> None:
+        """Add a subscription, extending the tree along its path.
+
+        Works on optimized (level-skipping) trees too: if the tree earlier
+        spliced out a level this subscription constrains, the level is
+        re-materialized on the affected path.
+        """
+        if subscription.predicate.schema != self.schema:
+            raise SubscriptionError("subscription schema does not match the tree's schema")
+        if subscription.subscription_id in self._by_id:
+            raise SubscriptionError(
+                f"subscription #{subscription.subscription_id} is already registered"
+            )
+        if not subscription.predicate.is_satisfiable:
+            raise SubscriptionError(
+                f"refusing to register unsatisfiable predicate "
+                f"{subscription.predicate.describe()!r}"
+            )
+        tests = self._tests_in_order(subscription.predicate)
+        self.root = self._insert(self.root, tests, 0, subscription)
+        self._by_id[subscription.subscription_id] = subscription
+
+    def _first_constrained(self, tests: List[AttributeTest], start: int, stop: int) -> Optional[int]:
+        """First position in ``[start, stop)`` with a non-don't-care test."""
+        for position in range(start, stop):
+            if not tests[position].is_dont_care:
+                return position
+        return None
+
+    def _insert(
+        self,
+        node: PSTNode,
+        tests: List[AttributeTest],
+        level: int,
+        subscription: Subscription,
+    ) -> PSTNode:
+        """Insert below ``node``, which covers levels ``level..`` — its own
+        ``attribute_position`` may be greater than ``level`` on optimized
+        trees.  Returns the (possibly replaced) node."""
+        end = len(self.attribute_order)
+        node_position = end if node.is_leaf else node.attribute_position
+        assert node_position is not None
+        target = self._first_constrained(tests, level, node_position)
+        if target is not None:
+            # The subscription constrains a level this path skips: insert a
+            # fresh node at that level whose *-branch leads to the old path.
+            # An empty old node (a drained root left behind by removals) is
+            # dropped rather than grafted — grafting it would leak dead
+            # structure that no search or removal would ever prune.
+            replacement = PSTNode(target)
+            if not node.is_empty:
+                replacement.star_child = node
+            return self._insert(replacement, tests, target, subscription)
+        if node.is_leaf:
+            node.subscriptions.append(subscription)
+            return node
+        test = tests[node_position]
+        child = self._child_for_test(node, test)
+        if child is None:
+            child = self._grow_child(node, test, node_position)
+        new_child = self._insert(child, tests, node_position + 1, subscription)
+        if new_child is not child:
+            self._unlink_child(node, test)
+            self._attach_child(node, test, new_child)
+        return node
+
+    def _next_position(self, position: int) -> Optional[int]:
+        """Tree level after ``position``; ``None`` means the next node is a leaf."""
+        return position + 1 if position + 1 < len(self.attribute_order) else None
+
+    def _child_for_test(self, node: PSTNode, test: AttributeTest) -> Optional[PSTNode]:
+        """The existing child whose branch label equals ``test``, if any."""
+        if test.is_dont_care:
+            return node.star_child
+        if isinstance(test, EqualityTest):
+            return node.value_branches.get(test.value)
+        for branch_test, child in node.range_branches:
+            if branch_test == test:
+                return child
+        return None
+
+    def _grow_child(self, node: PSTNode, test: AttributeTest, position: int) -> PSTNode:
+        child = PSTNode(self._next_position(position))
+        self._attach_child(node, test, child)
+        return child
+
+    def _attach_child(self, node: PSTNode, test: AttributeTest, child: PSTNode) -> None:
+        if test.is_dont_care:
+            node.star_child = child
+        elif isinstance(test, EqualityTest):
+            node.value_branches[test.value] = child
+        else:
+            node.range_branches.append((test, child))
+
+    def remove(self, subscription_id: int) -> Subscription:
+        """Remove a subscription by id, pruning now-empty branches.
+
+        Returns the removed subscription; raises :class:`SubscriptionError`
+        if the id is unknown.
+        """
+        subscription = self._by_id.pop(subscription_id, None)
+        if subscription is None:
+            raise SubscriptionError(f"unknown subscription id {subscription_id}")
+        tests = self._tests_in_order(subscription.predicate)
+        self._remove_along_path(self.root, tests, subscription)
+        return subscription
+
+    def _remove_along_path(
+        self, node: PSTNode, tests: List[AttributeTest], subscription: Subscription
+    ) -> bool:
+        """Remove ``subscription`` below ``node``; returns True if ``node``
+        became empty and should be pruned by its parent."""
+        if node.is_leaf:
+            try:
+                node.subscriptions.remove(subscription)
+            except ValueError:
+                raise SubscriptionError(
+                    f"subscription #{subscription.subscription_id} not found at its leaf "
+                    "(tree structure was mutated externally?)"
+                ) from None
+            return node.is_empty
+        position = node.attribute_position
+        assert position is not None
+        test = tests[position]
+        child = self._child_for_test(node, test)
+        if child is None:
+            raise SubscriptionError(
+                f"no branch for {test!r} while removing subscription "
+                f"#{subscription.subscription_id}"
+            )
+        if self._remove_along_path(child, tests, subscription):
+            self._unlink_child(node, test)
+        return node.is_empty
+
+    def _unlink_child(self, node: PSTNode, test: AttributeTest) -> None:
+        if test.is_dont_care:
+            node.star_child = None
+        elif isinstance(test, EqualityTest):
+            del node.value_branches[test.value]
+        else:
+            node.range_branches = [
+                (branch_test, child)
+                for branch_test, child in node.range_branches
+                if branch_test != test
+            ]
+
+    # ------------------------------------------------------------------
+    # Matching
+
+    def match(self, event: Event) -> MatchResult:
+        """Run the parallel search of Section 2 and return matches + steps.
+
+        The search is implemented with an explicit stack rather than
+        recursion: the "parallel subsearches" of the paper are independent,
+        so visiting them in LIFO order is equivalent and avoids Python's
+        recursion limit on deep schemas.
+        """
+        if event.schema != self.schema:
+            raise SubscriptionError("event schema does not match the tree's schema")
+        values = event.as_tuple()
+        matched: List[Subscription] = []
+        steps = 0
+        stack: List[PSTNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            steps += 1
+            if node.is_leaf:
+                matched.extend(node.subscriptions)
+                continue
+            value = values[self._positions[node.attribute_position]]
+            child = node.value_branches.get(value)
+            if child is not None:
+                stack.append(child)
+            for test, range_child in node.range_branches:
+                if test.evaluate(value):
+                    stack.append(range_child)
+            if node.star_child is not None:
+                stack.append(node.star_child)
+        return MatchResult(matched, steps)
+
+    def match_brute_force(self, event: Event) -> List[Subscription]:
+        """Reference implementation: evaluate every predicate directly.
+
+        Used by tests to check that the PST search is semantics-preserving,
+        and by the simulator's "match-first" straw-man protocol when step
+        counting is irrelevant.
+        """
+        return [s for s in self._by_id.values() if s.predicate.matches(event)]
+
+    # ------------------------------------------------------------------
+    # Optimizations applied in place
+
+    def eliminate_trivial_tests(self) -> int:
+        """Section 2.1, item 2: splice out nodes whose only child hangs off a
+        ``*``-branch.
+
+        Such a node tests an attribute that none of the subscriptions below
+        it constrain, so the test is pure overhead.  Returns the number of
+        nodes eliminated.  The tree remains a valid PST; node
+        ``attribute_position`` values simply skip the eliminated levels.
+
+        Note: after elimination, newly inserted subscriptions may re-create
+        spliced levels; callers that mix heavy insertion with matching should
+        re-run this periodically (the broker engine does).
+        """
+        eliminated = 0
+
+        def splice(node: PSTNode) -> PSTNode:
+            nonlocal eliminated
+            while (
+                not node.is_leaf
+                and node.star_child is not None
+                and not node.value_branches
+                and not node.range_branches
+            ):
+                node = node.star_child
+                eliminated += 1
+            if not node.is_leaf:
+                for value, child in list(node.value_branches.items()):
+                    node.value_branches[value] = splice(child)
+                node.range_branches = [
+                    (test, splice(child)) for test, child in node.range_branches
+                ]
+                if node.star_child is not None:
+                    node.star_child = splice(node.star_child)
+            return node
+
+        self.root = splice(self.root)
+        return eliminated
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelSearchTree({len(self._by_id)} subscriptions, "
+            f"{self.node_count()} nodes, order={list(self.attribute_order)!r})"
+        )
+
+
+def build_pst(
+    schema: EventSchema,
+    subscriptions: Iterable[Subscription],
+    *,
+    attribute_order: Optional[Sequence[str]] = None,
+    domains: Optional[Mapping[str, Iterable[AttributeValue]]] = None,
+) -> ParallelSearchTree:
+    """Convenience constructor: build a PST holding ``subscriptions``."""
+    tree = ParallelSearchTree(schema, attribute_order=attribute_order, domains=domains)
+    for subscription in subscriptions:
+        tree.insert(subscription)
+    return tree

@@ -1,0 +1,38 @@
+"""Broker-network substrate: topologies, canonical shortest paths, routing
+tables, and per-publisher spanning trees (Section 3.2 of the paper)."""
+
+from repro.network.figures import (
+    CLIENT_MS,
+    INTERCONTINENTAL_MS,
+    LATERAL_MS,
+    MID_TO_LEAF_MS,
+    ROOT_TO_MID_MS,
+    binary_tree,
+    figure6_topology,
+    linear_chain,
+    star,
+)
+from repro.network.paths import RoutingTable, ShortestPaths, all_routing_tables
+from repro.network.spanning import SpanningTree, spanning_trees_for_publishers
+from repro.network.topology import Link, Node, NodeKind, Topology
+
+__all__ = [
+    "CLIENT_MS",
+    "INTERCONTINENTAL_MS",
+    "LATERAL_MS",
+    "Link",
+    "MID_TO_LEAF_MS",
+    "Node",
+    "NodeKind",
+    "ROOT_TO_MID_MS",
+    "RoutingTable",
+    "ShortestPaths",
+    "SpanningTree",
+    "Topology",
+    "all_routing_tables",
+    "binary_tree",
+    "figure6_topology",
+    "linear_chain",
+    "spanning_trees_for_publishers",
+    "star",
+]

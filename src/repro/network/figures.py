@@ -1,0 +1,190 @@
+"""Canned topologies, including the paper's Figure 6 simulation network.
+
+Figure 6: 39 brokers form three 13-broker trees (a root, 3 second-level
+brokers, 9 third-level brokers each).  The three roots are connected to each
+other; a small number of lateral links join non-root brokers of different
+trees "to allow messages from some publishers to follow a different path than
+other publishers".  Hop delays: 65 ms between roots (intercontinental), 25 ms
+root to second level, 10 ms second to third level, 1 ms broker to client.
+Each broker has 10 subscriber clients; the three tracked publishers P1, P2,
+P3 sit in different trees.
+
+Smaller helper topologies (:func:`linear_chain`, :func:`star`,
+:func:`binary_tree`) are used throughout the tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.network.topology import NodeKind, Topology
+
+#: Hop delays from the paper, in milliseconds.
+INTERCONTINENTAL_MS = 65.0
+ROOT_TO_MID_MS = 25.0
+MID_TO_LEAF_MS = 10.0
+CLIENT_MS = 1.0
+#: Lateral links are mid-tree long-haul links; the paper gives no number, so
+#: we model them between second-level brokers at intercontinental-minus cost.
+LATERAL_MS = 45.0
+
+#: Lateral links of the default Figure 6 build: (tree, mid-index) pairs.
+DEFAULT_LATERAL_LINKS: Tuple[Tuple[Tuple[int, int], Tuple[int, int]], ...] = (
+    ((0, 1), (1, 1)),
+    ((1, 2), (2, 0)),
+)
+
+
+def root_name(tree: int) -> str:
+    return f"T{tree}.R"
+
+
+def mid_name(tree: int, index: int) -> str:
+    return f"T{tree}.M{index}"
+
+
+def leaf_name(tree: int, mid_index: int, index: int) -> str:
+    return f"T{tree}.L{mid_index}{index}"
+
+
+def subscriber_name(broker: str, index: int) -> str:
+    return f"S.{broker}.{index:02d}"
+
+
+def figure6_topology(
+    *,
+    subscribers_per_broker: int = 10,
+    lateral_links: Optional[Sequence[Tuple[Tuple[int, int], Tuple[int, int]]]] = None,
+    publisher_brokers: Optional[Sequence[str]] = None,
+) -> Topology:
+    """Build the Figure 6 simulation topology.
+
+    Parameters
+    ----------
+    subscribers_per_broker:
+        The paper uses 10; smaller values speed up tests.
+    lateral_links:
+        Pairs of ``(tree, mid_index)`` coordinates to join laterally.
+        Defaults to :data:`DEFAULT_LATERAL_LINKS`.
+    publisher_brokers:
+        The brokers hosting the tracked publishers P1, P2, P3.  Defaults to a
+        third-level broker in tree 0, a third-level broker in tree 1, and a
+        second-level broker in tree 2 (mirroring the figure, where P3 sits
+        higher in its tree than P1 and P2).
+    """
+    if subscribers_per_broker < 0:
+        raise TopologyError("subscribers_per_broker must be >= 0")
+    topology = Topology()
+    for tree in range(3):
+        topology.add_broker(root_name(tree))
+        for mid in range(3):
+            topology.add_broker(mid_name(tree, mid))
+            topology.add_link(root_name(tree), mid_name(tree, mid), latency_ms=ROOT_TO_MID_MS)
+            for leaf in range(3):
+                topology.add_broker(leaf_name(tree, mid, leaf))
+                topology.add_link(
+                    mid_name(tree, mid), leaf_name(tree, mid, leaf), latency_ms=MID_TO_LEAF_MS
+                )
+    for first, second in ((0, 1), (1, 2), (0, 2)):
+        topology.add_link(root_name(first), root_name(second), latency_ms=INTERCONTINENTAL_MS)
+    for (tree_a, mid_a), (tree_b, mid_b) in (
+        DEFAULT_LATERAL_LINKS if lateral_links is None else lateral_links
+    ):
+        topology.add_link(
+            mid_name(tree_a, mid_a), mid_name(tree_b, mid_b), latency_ms=LATERAL_MS
+        )
+    for broker in topology.brokers():
+        for index in range(subscribers_per_broker):
+            topology.add_client(
+                subscriber_name(broker, index), broker, latency_ms=CLIENT_MS
+            )
+    if publisher_brokers is None:
+        publisher_brokers = [leaf_name(0, 0, 0), leaf_name(1, 1, 0), mid_name(2, 2)]
+    for number, broker in enumerate(publisher_brokers, start=1):
+        topology.add_client(
+            f"P{number}", broker, kind=NodeKind.PUBLISHER, latency_ms=CLIENT_MS
+        )
+    topology.validate()
+    return topology
+
+
+def linear_chain(
+    num_brokers: int,
+    *,
+    subscribers_per_broker: int = 1,
+    latency_ms: float = 10.0,
+    publisher_broker_index: int = 0,
+) -> Topology:
+    """``B0 - B1 - ... - Bn-1`` with a publisher on one end.
+
+    The workhorse topology for hop-count experiments (Chart 2 varies hops
+    1-6) and for unit tests.
+    """
+    if num_brokers < 1:
+        raise TopologyError("need at least one broker")
+    topology = Topology()
+    for i in range(num_brokers):
+        topology.add_broker(f"B{i}")
+        if i > 0:
+            topology.add_link(f"B{i - 1}", f"B{i}", latency_ms=latency_ms)
+    for i in range(num_brokers):
+        for k in range(subscribers_per_broker):
+            topology.add_client(subscriber_name(f"B{i}", k), f"B{i}", latency_ms=CLIENT_MS)
+    topology.add_client(
+        "P1", f"B{publisher_broker_index}", kind=NodeKind.PUBLISHER, latency_ms=CLIENT_MS
+    )
+    topology.validate()
+    return topology
+
+
+def star(
+    num_edge_brokers: int,
+    *,
+    subscribers_per_broker: int = 1,
+    latency_ms: float = 10.0,
+) -> Topology:
+    """A hub broker ``HUB`` with ``num_edge_brokers`` spokes and a publisher
+    on the hub."""
+    if num_edge_brokers < 1:
+        raise TopologyError("need at least one edge broker")
+    topology = Topology()
+    topology.add_broker("HUB")
+    for i in range(num_edge_brokers):
+        name = f"E{i}"
+        topology.add_broker(name)
+        topology.add_link("HUB", name, latency_ms=latency_ms)
+        for k in range(subscribers_per_broker):
+            topology.add_client(subscriber_name(name, k), name, latency_ms=CLIENT_MS)
+    topology.add_client("P1", "HUB", kind=NodeKind.PUBLISHER, latency_ms=CLIENT_MS)
+    topology.validate()
+    return topology
+
+
+def binary_tree(
+    depth: int,
+    *,
+    subscribers_per_leaf: int = 1,
+    latency_ms: float = 10.0,
+) -> Topology:
+    """A complete binary tree of brokers of the given depth, publisher at the
+    root, subscribers on the leaf brokers."""
+    if depth < 0:
+        raise TopologyError("depth must be >= 0")
+    topology = Topology()
+    names: List[str] = []
+    for level in range(depth + 1):
+        for index in range(2**level):
+            name = f"N{level}.{index}"
+            names.append(name)
+            topology.add_broker(name)
+            if level > 0:
+                parent = f"N{level - 1}.{index // 2}"
+                topology.add_link(parent, name, latency_ms=latency_ms)
+    for index in range(2**depth):
+        leaf = f"N{depth}.{index}"
+        for k in range(subscribers_per_leaf):
+            topology.add_client(subscriber_name(leaf, k), leaf, latency_ms=CLIENT_MS)
+    topology.add_client("P1", "N0.0", kind=NodeKind.PUBLISHER, latency_ms=CLIENT_MS)
+    topology.validate()
+    return topology

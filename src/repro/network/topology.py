@@ -1,0 +1,267 @@
+"""Broker-network topology model.
+
+The paper's system (Figure 3) is a network of *brokers* with attached
+*clients* (publishers and subscribers).  Brokers are connected to one another
+by bidirectional links with a per-hop delay; every client is attached to
+exactly one broker by a client link.
+
+Link matching assigns one trit per *outgoing link* of a broker, so the model
+gives each broker a deterministic, stable indexing of its incident links
+(:meth:`Topology.link_index`): neighbors sorted by name.  Subscriber and
+publisher clients are ordinary nodes — a broker's links to its own clients
+participate in trit vectors exactly like broker-broker links, which is how
+the paper's brokers "forward messages to its subscribers based on their
+subscriptions".
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import TopologyError
+
+
+class NodeKind(enum.Enum):
+    """What a topology node is."""
+
+    BROKER = "broker"
+    SUBSCRIBER = "subscriber"
+    PUBLISHER = "publisher"
+
+    @property
+    def is_client(self) -> bool:
+        return self is not NodeKind.BROKER
+
+
+class Node:
+    """A named topology node."""
+
+    __slots__ = ("name", "kind")
+
+    def __init__(self, name: str, kind: NodeKind) -> None:
+        if not name:
+            raise TopologyError("node name must be non-empty")
+        self.name = name
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"Node({self.name!r}, {self.kind.value})"
+
+
+class Link:
+    """A bidirectional link between two nodes with a one-way hop delay.
+
+    ``latency_ms`` is the one-way propagation delay the paper quotes (65 ms
+    intercontinental, 25/10 ms interstate, 1 ms to clients).  Links are value
+    objects identified by their unordered endpoint pair.
+    """
+
+    __slots__ = ("a", "b", "latency_ms")
+
+    def __init__(self, a: str, b: str, latency_ms: float) -> None:
+        if a == b:
+            raise TopologyError(f"self-link at {a!r}")
+        if latency_ms < 0:
+            raise TopologyError(f"negative latency on link {a!r}-{b!r}")
+        self.a = a
+        self.b = b
+        self.latency_ms = latency_ms
+
+    @property
+    def endpoints(self) -> Tuple[str, str]:
+        return (self.a, self.b)
+
+    def other(self, node: str) -> str:
+        """The endpoint that is not ``node``."""
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise TopologyError(f"{node!r} is not an endpoint of link {self.a!r}-{self.b!r}")
+
+    def key(self) -> Tuple[str, str]:
+        """Canonical unordered endpoint pair."""
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+    def __repr__(self) -> str:
+        return f"Link({self.a!r}-{self.b!r}, {self.latency_ms}ms)"
+
+
+class Topology:
+    """A mutable broker/client network.
+
+    Build with :meth:`add_broker`, :meth:`add_client` and :meth:`add_link`,
+    then treat as read-only: routing tables, spanning trees and trit vectors
+    all cache structural facts, so mutating a topology that is already in use
+    by a router is an error the library does not try to detect.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._adjacency: Dict[str, Dict[str, Link]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    def add_broker(self, name: str) -> Node:
+        """Add a broker node."""
+        return self._add_node(name, NodeKind.BROKER)
+
+    def add_client(
+        self, name: str, broker: str, *, kind: NodeKind = NodeKind.SUBSCRIBER, latency_ms: float = 1.0
+    ) -> Node:
+        """Add a client attached to ``broker`` by a client link."""
+        if not kind.is_client:
+            raise TopologyError("client kind must be SUBSCRIBER or PUBLISHER")
+        if broker not in self._nodes or self._nodes[broker].kind is not NodeKind.BROKER:
+            raise TopologyError(f"unknown broker {broker!r}")
+        node = self._add_node(name, kind)
+        self.add_link(name, broker, latency_ms=latency_ms)
+        return node
+
+    def _add_node(self, name: str, kind: NodeKind) -> Node:
+        if name in self._nodes:
+            raise TopologyError(f"duplicate node name {name!r}")
+        node = Node(name, kind)
+        self._nodes[name] = node
+        self._adjacency[name] = {}
+        return node
+
+    def add_link(self, a: str, b: str, *, latency_ms: float) -> Link:
+        """Add a bidirectional link between two existing nodes."""
+        for name in (a, b):
+            if name not in self._nodes:
+                raise TopologyError(f"unknown node {name!r}")
+        if self._nodes[a].kind.is_client and self._nodes[b].kind.is_client:
+            raise TopologyError(f"clients {a!r} and {b!r} cannot be linked directly")
+        link = Link(a, b, latency_ms)
+        if link.key() in self._links:
+            raise TopologyError(f"duplicate link {a!r}-{b!r}")
+        self._links[link.key()] = link
+        self._adjacency[a][b] = link
+        self._adjacency[b][a] = link
+        return link
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._nodes
+
+    def nodes(self) -> List[Node]:
+        """All nodes sorted by name."""
+        return [self._nodes[name] for name in sorted(self._nodes)]
+
+    def brokers(self) -> List[str]:
+        """Broker names, sorted."""
+        return sorted(n.name for n in self._nodes.values() if n.kind is NodeKind.BROKER)
+
+    def clients(self, *, kind: Optional[NodeKind] = None) -> List[str]:
+        """Client names, sorted; optionally filtered to one kind."""
+        return sorted(
+            n.name
+            for n in self._nodes.values()
+            if n.kind.is_client and (kind is None or n.kind is kind)
+        )
+
+    def subscribers(self) -> List[str]:
+        return self.clients(kind=NodeKind.SUBSCRIBER)
+
+    def publishers(self) -> List[str]:
+        return self.clients(kind=NodeKind.PUBLISHER)
+
+    def links(self) -> List[Link]:
+        """All links, sorted by endpoint pair."""
+        return [self._links[key] for key in sorted(self._links)]
+
+    def link_between(self, a: str, b: str) -> Link:
+        link = self._adjacency.get(a, {}).get(b)
+        if link is None:
+            raise TopologyError(f"no link between {a!r} and {b!r}")
+        return link
+
+    def neighbors(self, name: str) -> List[str]:
+        """Neighbor names of ``name``, sorted (this order defines trit vector
+        positions — see :meth:`link_index`)."""
+        if name not in self._nodes:
+            raise TopologyError(f"unknown node {name!r}")
+        return sorted(self._adjacency[name])
+
+    def degree(self, name: str) -> int:
+        return len(self._adjacency.get(name, {}))
+
+    def link_index(self, broker: str) -> Dict[str, int]:
+        """Map each neighbor of ``broker`` to its trit-vector position.
+
+        Positions are assigned by sorted neighbor name, so every component
+        that builds or reads a trit vector for this broker agrees on the
+        layout without coordination.
+        """
+        return {neighbor: i for i, neighbor in enumerate(self.neighbors(broker))}
+
+    def broker_of(self, client: str) -> str:
+        """The broker a client is attached to."""
+        node = self.node(client)
+        if not node.kind.is_client:
+            raise TopologyError(f"{client!r} is not a client")
+        neighbors = self.neighbors(client)
+        if len(neighbors) != 1:
+            raise TopologyError(f"client {client!r} must have exactly one broker link")
+        return neighbors[0]
+
+    def clients_of(self, broker: str) -> List[str]:
+        """Clients attached to ``broker``, sorted."""
+        self.node(broker)
+        return sorted(
+            neighbor
+            for neighbor in self._adjacency[broker]
+            if self._nodes[neighbor].kind.is_client
+        )
+
+    def broker_neighbors(self, broker: str) -> List[str]:
+        """Neighboring brokers of ``broker``, sorted."""
+        self.node(broker)
+        return sorted(
+            neighbor
+            for neighbor in self._adjacency[broker]
+            if self._nodes[neighbor].kind is NodeKind.BROKER
+        )
+
+    def is_connected(self) -> bool:
+        """Whether every node can reach every other node."""
+        if not self._nodes:
+            return True
+        seen: Set[str] = set()
+        start = next(iter(self._nodes))
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._adjacency[current])
+        return len(seen) == len(self._nodes)
+
+    def validate(self) -> None:
+        """Raise :class:`TopologyError` unless the network is usable:
+        connected, with every client attached to exactly one broker."""
+        if not self.brokers():
+            raise TopologyError("topology has no brokers")
+        if not self.is_connected():
+            raise TopologyError("topology is not connected")
+        for client in self.clients():
+            self.broker_of(client)  # raises when malformed
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({len(self.brokers())} brokers, {len(self.clients())} clients, "
+            f"{len(self._links)} links)"
+        )

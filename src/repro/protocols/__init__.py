@@ -1,0 +1,22 @@
+"""Multicast protocols over the broker network: the paper's link matching
+and the two baselines it is evaluated against (flooding, match-first)."""
+
+from repro.protocols.base import (
+    Decision,
+    ProtocolContext,
+    RoutingProtocol,
+    SimMessage,
+)
+from repro.protocols.flooding import FloodingProtocol
+from repro.protocols.link_matching import LinkMatchingProtocol
+from repro.protocols.match_first import MatchFirstProtocol
+
+__all__ = [
+    "Decision",
+    "FloodingProtocol",
+    "LinkMatchingProtocol",
+    "MatchFirstProtocol",
+    "ProtocolContext",
+    "RoutingProtocol",
+    "SimMessage",
+]

@@ -1,0 +1,195 @@
+"""Protocol interface shared by link matching and the baselines.
+
+A routing protocol answers one question, per broker, per message: *what does
+this broker do with this message?*  The answer is a :class:`Decision`:
+messages to send to neighbor brokers, clients to hand the event to, and the
+work profile (matching steps, destination-list entries) the cost model
+charges for.
+
+The simulator (:mod:`repro.sim`) owns queues, service times and link
+latencies; protocols are pure decision logic, so the same implementations
+also back the untimed traces used in tests.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.matching.events import Event
+from repro.matching.predicates import Subscription
+from repro.matching.schema import AttributeValue, EventSchema
+from repro.network.paths import RoutingTable, all_routing_tables
+from repro.network.spanning import SpanningTree, spanning_trees_for_publishers
+from repro.network.topology import Topology
+
+_message_ids = itertools.count(1)
+
+
+class SimMessage:
+    """A message in flight between brokers.
+
+    ``root`` names the spanning tree the event travels on (the publisher's
+    broker).  ``destinations`` is only used by the match-first baseline (the
+    destination list carried in the header).  ``publish_time_ticks`` is
+    stamped by the simulator for latency accounting.
+    """
+
+    __slots__ = ("message_id", "event", "root", "destinations", "publish_time_ticks", "hop")
+
+    def __init__(
+        self,
+        event: Event,
+        root: str,
+        *,
+        destinations: Optional[Tuple[str, ...]] = None,
+        publish_time_ticks: int = 0,
+        hop: int = 0,
+    ) -> None:
+        self.message_id = next(_message_ids)
+        self.event = event
+        self.root = root
+        self.destinations = destinations
+        self.publish_time_ticks = publish_time_ticks
+        self.hop = hop
+
+    def forwarded(self, *, destinations: Optional[Tuple[str, ...]] = None) -> "SimMessage":
+        """A copy to send one hop further."""
+        return SimMessage(
+            self.event,
+            self.root,
+            destinations=destinations if destinations is not None else self.destinations,
+            publish_time_ticks=self.publish_time_ticks,
+            hop=self.hop + 1,
+        )
+
+    @property
+    def header_entries(self) -> int:
+        """Destination-list length (0 when the protocol carries none)."""
+        return len(self.destinations) if self.destinations is not None else 0
+
+    #: Fixed framing + routing header cost, and per-value / per-destination
+    #: wire sizes.  Rough but consistent across protocols, which is all the
+    #: comparisons need.
+    BASE_HEADER_BYTES = 24
+    BYTES_PER_VALUE = 8
+    BYTES_PER_DESTINATION = 12
+
+    @property
+    def wire_size_bytes(self) -> int:
+        """Estimated on-the-wire size of this message.
+
+        Match-first's destination lists show up here: its headers grow by
+        :data:`BYTES_PER_DESTINATION` per carried destination, which is the
+        cost the paper says "makes the approach impractical" at thousands of
+        subscribers.
+        """
+        return (
+            self.BASE_HEADER_BYTES
+            + self.BYTES_PER_VALUE * len(self.event.schema)
+            + self.BYTES_PER_DESTINATION * self.header_entries
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SimMessage(#{self.message_id}, root={self.root!r}, hop={self.hop}, "
+            f"header={self.header_entries})"
+        )
+
+
+class Decision:
+    """A broker's answer for one message (see module docstring).
+
+    ``deliveries`` are the clients the broker sends the event to;
+    ``matched_deliveries`` the subset that actually subscribed to it (they
+    differ only under pure flooding, where clients filter for themselves).
+    """
+
+    __slots__ = ("sends", "deliveries", "matched_deliveries", "matching_steps", "destination_entries")
+
+    def __init__(
+        self,
+        *,
+        sends: Optional[List[Tuple[str, SimMessage]]] = None,
+        deliveries: Optional[List[str]] = None,
+        matched_deliveries: Optional[List[str]] = None,
+        matching_steps: int = 0,
+        destination_entries: int = 0,
+    ) -> None:
+        self.sends = sends if sends is not None else []
+        self.deliveries = deliveries if deliveries is not None else []
+        self.matched_deliveries = (
+            matched_deliveries if matched_deliveries is not None else list(self.deliveries)
+        )
+        self.matching_steps = matching_steps
+        self.destination_entries = destination_entries
+
+    @property
+    def send_count(self) -> int:
+        return len(self.sends) + len(self.deliveries)
+
+    def __repr__(self) -> str:
+        return (
+            f"Decision({len(self.sends)} forwards, {len(self.deliveries)} deliveries, "
+            f"{self.matching_steps} steps)"
+        )
+
+
+class ProtocolContext:
+    """Everything a protocol needs to build its per-broker state: the
+    topology, the event schema, the global subscription set, spanning trees,
+    routing tables, and the PST configuration knobs."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        schema: EventSchema,
+        subscriptions: Sequence[Subscription],
+        *,
+        attribute_order: Optional[Sequence[str]] = None,
+        domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
+        factoring_attributes: Optional[Sequence[str]] = None,
+    ) -> None:
+        topology.validate()
+        self.topology = topology
+        self.schema = schema
+        self.subscriptions = list(subscriptions)
+        self.attribute_order = attribute_order
+        self.domains = domains
+        self.factoring_attributes = factoring_attributes
+        self.routing_tables: Dict[str, RoutingTable] = all_routing_tables(topology)
+        self.spanning_trees: Dict[str, SpanningTree] = spanning_trees_for_publishers(topology)
+
+    def tree_children(self, broker: str, root: str) -> List[str]:
+        """Broker children of ``broker`` in the spanning tree of ``root``."""
+        tree = self.spanning_trees.get(root)
+        if tree is None:
+            raise SimulationError(f"no spanning tree rooted at {root!r}")
+        return [
+            child
+            for child in tree.children.get(broker, [])
+            if not self.topology.node(child).kind.is_client
+        ]
+
+
+class RoutingProtocol(abc.ABC):
+    """Decision logic for one multicast strategy."""
+
+    #: Short name used in logs and experiment tables.
+    name: str = "abstract"
+
+    def __init__(self, context: ProtocolContext) -> None:
+        self.context = context
+
+    def make_message(self, event: Event, root: str, publish_time_ticks: int = 0) -> SimMessage:
+        """The initial message injected at the publishing broker."""
+        return SimMessage(event, root, publish_time_ticks=publish_time_ticks)
+
+    @abc.abstractmethod
+    def handle(self, broker: str, message: SimMessage) -> Decision:
+        """Decide what ``broker`` does with ``message``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

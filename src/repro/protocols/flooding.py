@@ -1,0 +1,82 @@
+"""The flooding baseline.
+
+"The message is broadcast or flooded to all destinations using standard
+multicast technology and unwanted messages are filtered out at these
+destinations."
+
+Every broker forwards every event to all of its spanning-tree children,
+unconditionally.  What happens at the edge is a policy knob:
+
+* ``filter_at_edge=False`` (the paper's pure flooding): the broker sends the
+  event to *every* attached client and clients filter for themselves.  The
+  broker pays a send per client; ``matched_deliveries`` records which clients
+  actually wanted the event so metrics can count useful vs wasted traffic.
+* ``filter_at_edge=True``: the broker matches the event against its *local*
+  clients' subscriptions and sends only to the matching ones (a stronger
+  baseline; still floods every broker).
+
+Either way, every broker in the network processes every event — which is
+exactly why flooding saturates first in Chart 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.matching.pst import ParallelSearchTree
+from repro.protocols.base import Decision, ProtocolContext, RoutingProtocol, SimMessage
+
+
+class FloodingProtocol(RoutingProtocol):
+    """Flood the spanning tree; filter at the edge or at the clients."""
+
+    name = "flooding"
+
+    def __init__(self, context: ProtocolContext, *, filter_at_edge: bool = False) -> None:
+        super().__init__(context)
+        self.filter_at_edge = filter_at_edge
+        # Per-broker PST over the subscriptions of *locally attached* clients
+        # only: flooding needs no global knowledge, that is its one virtue.
+        self._local_trees: Dict[str, ParallelSearchTree] = {}
+        topology = context.topology
+        for broker in topology.brokers():
+            tree = ParallelSearchTree(
+                context.schema,
+                attribute_order=context.attribute_order,
+                domains=context.domains,
+            )
+            self._local_trees[broker] = tree
+        self._subscriber_names = frozenset(topology.subscribers())
+        client_broker = {client: topology.broker_of(client) for client in topology.clients()}
+        for subscription in context.subscriptions:
+            broker = client_broker.get(subscription.subscriber)
+            if broker is None:
+                continue
+            self._local_trees[broker].insert(subscription)
+
+    def handle(self, broker: str, message: SimMessage) -> Decision:
+        children = self.context.tree_children(broker, message.root)
+        sends = [(child, message.forwarded()) for child in children]
+        local = self._local_trees[broker].match(message.event)
+        matched_clients = sorted(local.subscribers)
+        if self.filter_at_edge:
+            deliveries = matched_clients
+            steps = local.steps
+        else:
+            # Pure flooding: the broker sends to every subscriber client and
+            # the clients filter for themselves, so the broker is charged no
+            # matching steps (the local match above is only bookkeeping for
+            # the useful-traffic metrics).
+            topology = self.context.topology
+            deliveries = [
+                client
+                for client in topology.clients_of(broker)
+                if client in self._subscriber_names
+            ]
+            steps = 0
+        return Decision(
+            sends=sends,
+            deliveries=deliveries,
+            matched_deliveries=matched_clients,
+            matching_steps=steps,
+        )

@@ -1,0 +1,47 @@
+"""Link matching as a simulator protocol.
+
+This is a thin adapter: the real work lives in
+:class:`repro.core.router.ContentRouter` (annotation + mask refinement).
+Every broker holds a router over the full replicated subscription set; the
+decision for a message is the router's route decision for the message's
+spanning tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.router import ContentRouter
+from repro.protocols.base import Decision, ProtocolContext, RoutingProtocol, SimMessage
+
+
+class LinkMatchingProtocol(RoutingProtocol):
+    """The paper's protocol: hop-by-hop partial matching."""
+
+    name = "link-matching"
+
+    def __init__(self, context: ProtocolContext) -> None:
+        super().__init__(context)
+        self.routers: Dict[str, ContentRouter] = {}
+        for broker in context.topology.brokers():
+            router = ContentRouter(
+                context.topology,
+                broker,
+                context.routing_tables[broker],
+                context.spanning_trees,
+                context.schema,
+                attribute_order=context.attribute_order,
+                domains=context.domains,
+                factoring_attributes=context.factoring_attributes,
+            )
+            for subscription in context.subscriptions:
+                router.add_subscription(subscription)
+            self.routers[broker] = router
+
+    def handle(self, broker: str, message: SimMessage) -> Decision:
+        decision = self.routers[broker].route(message.event, message.root)
+        return Decision(
+            sends=[(neighbor, message.forwarded()) for neighbor in decision.forward_to],
+            deliveries=list(decision.deliver_to),
+            matching_steps=decision.steps,
+        )

@@ -1,0 +1,89 @@
+"""The simulated broker: a single-server FIFO queue over the event engine.
+
+Each broker models the paper's processing pipeline: a message "spends time
+traversing a link (hop delay), waiting at an incoming broker queue, getting
+matched, and being sent (software latency of the communication stack)".
+
+Arriving messages join the input queue; the (single) processor serves them
+FIFO.  Service time comes from the :class:`~repro.sim.cost.CostModel` applied
+to the protocol's :class:`~repro.protocols.base.Decision` for the message.
+When service completes, forwards and deliveries are handed back to the
+network (which adds hop delays) and the next queued message starts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Optional
+
+from repro.protocols.base import Decision, RoutingProtocol, SimMessage
+from repro.sim.cost import CostModel
+from repro.sim.engine import Simulator, us_to_ticks
+from repro.sim.metrics import BrokerStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.runner import NetworkSimulation
+
+
+class SimBroker:
+    """One broker's queue + processor (see module docstring)."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str,
+        protocol: RoutingProtocol,
+        cost_model: CostModel,
+        network: "NetworkSimulation",
+    ) -> None:
+        self.simulator = simulator
+        self.name = name
+        self.protocol = protocol
+        self.cost_model = cost_model
+        self.network = network
+        self.queue: Deque[SimMessage] = deque()
+        self.busy = False
+        self.stats = BrokerStats(name)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    def receive(self, message: SimMessage) -> None:
+        """A message arrives on some incoming link (called by the network at
+        the arrival instant)."""
+        self.stats.arrivals += 1
+        self.queue.append(message)
+        if len(self.queue) > self.stats.max_queue:
+            self.stats.max_queue = len(self.queue)
+        if not self.busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        message = self.queue.popleft()
+        self.busy = True
+        decision = self.protocol.handle(self.name, message)
+        service_us = self.cost_model.service_time_us(
+            matching_steps=decision.matching_steps,
+            sends=decision.send_count,
+            destination_entries=decision.destination_entries,
+        )
+        service_ticks = max(1, us_to_ticks(service_us))
+        self.stats.busy_ticks += service_ticks
+        self.stats.matching_steps += decision.matching_steps
+        self.simulator.schedule(service_ticks, lambda: self._finish(message, decision))
+
+    def _finish(self, message: SimMessage, decision: Decision) -> None:
+        self.stats.processed += 1
+        self.stats.messages_sent += decision.send_count
+        matched = set(decision.matched_deliveries)
+        for neighbor, outgoing in decision.sends:
+            self.network.transmit(self.name, neighbor, outgoing)
+        for client in decision.deliveries:
+            self.network.deliver(self.name, client, message, matched=client in matched)
+        self.busy = False
+        if self.queue:
+            self._start_next()
+
+    def __repr__(self) -> str:
+        return f"SimBroker({self.name!r}, queue={len(self.queue)}, busy={self.busy})"

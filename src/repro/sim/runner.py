@@ -1,0 +1,217 @@
+"""Wiring brokers, links, clients and a protocol into one simulation.
+
+:class:`NetworkSimulation` owns the event engine, one :class:`SimBroker` per
+topology broker, the link model (each transmit schedules an arrival after the
+link's hop delay), delivery recording, and a periodic queue-length sampler
+(for overload detection).  Publishers are attached with
+:meth:`add_poisson_publisher` / :meth:`add_bursty_publisher`; then
+:meth:`run` drives the clock and returns a
+:class:`~repro.sim.metrics.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.matching.events import Event
+from repro.protocols.base import RoutingProtocol, SimMessage
+from repro.sim.brokers import SimBroker
+from repro.sim.clients import BurstyPublisher, EventFactory, PoissonPublisher
+from repro.sim.cost import DEFAULT_COST_MODEL, CostModel
+from repro.sim.engine import Simulator, ms_to_ticks, seconds_to_ticks
+from repro.sim.metrics import DeliveryRecord, SimulationResult
+from repro.network.topology import NodeKind, Topology
+
+
+class NetworkSimulation:
+    """A timed run of one protocol over one topology (see module docstring)."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        protocol: RoutingProtocol,
+        *,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        seed: int = 0,
+        queue_sample_interval_ms: float = 50.0,
+    ) -> None:
+        topology.validate()
+        self.topology = topology
+        self.protocol = protocol
+        self.cost_model = cost_model
+        self.simulator = Simulator()
+        self.rng = random.Random(seed)
+        self.brokers: Dict[str, SimBroker] = {
+            name: SimBroker(self.simulator, name, protocol, cost_model, self)
+            for name in topology.brokers()
+        }
+        self.link_messages: Dict[Tuple[str, str], int] = {}
+        self.link_bytes: Dict[Tuple[str, str], int] = {}
+        self.deliveries: List[DeliveryRecord] = []
+        self.published_events = 0
+        self._publishers: List[object] = []
+        self._sample_interval_ticks = max(1, ms_to_ticks(queue_sample_interval_ms))
+        self._sampling = False
+        self._abort_queue_threshold: Optional[int] = None
+        self._aborted_overloaded = False
+
+    # ------------------------------------------------------------------
+    # Wiring used by brokers and clients
+
+    def publish(self, publisher: str, event: Event) -> None:
+        """Inject an event from a publisher client (crosses its client link,
+        then joins the broker's input queue)."""
+        node = self.topology.node(publisher)
+        if node.kind is not NodeKind.PUBLISHER:
+            raise SimulationError(f"{publisher!r} is not a publisher client")
+        broker = self.topology.broker_of(publisher)
+        link = self.topology.link_between(publisher, broker)
+        message = self.protocol.make_message(
+            event, broker, publish_time_ticks=self.simulator.now
+        )
+        self.published_events += 1
+        self.simulator.schedule(
+            ms_to_ticks(link.latency_ms), lambda: self.brokers[broker].receive(message)
+        )
+
+    def transmit(self, source: str, target: str, message: SimMessage) -> None:
+        """Send a message over the broker-broker link (adds hop delay)."""
+        link = self.topology.link_between(source, target)
+        key = (source, target)
+        self.link_messages[key] = self.link_messages.get(key, 0) + 1
+        self.link_bytes[key] = self.link_bytes.get(key, 0) + message.wire_size_bytes
+        self.simulator.schedule(
+            ms_to_ticks(link.latency_ms), lambda: self.brokers[target].receive(message)
+        )
+
+    def deliver(self, broker: str, client: str, message: SimMessage, *, matched: bool) -> None:
+        """Send the event over the client link and record its arrival."""
+        link = self.topology.link_between(broker, client)
+        arrival = self.simulator.now + ms_to_ticks(link.latency_ms)
+
+        def record() -> None:
+            self.deliveries.append(
+                DeliveryRecord(
+                    client,
+                    message.event.event_id,
+                    message.publish_time_ticks,
+                    arrival,
+                    matched,
+                    message.hop,
+                )
+            )
+
+        self.simulator.schedule_at(arrival, record)
+
+    # ------------------------------------------------------------------
+    # Publisher attachment
+
+    def add_poisson_publisher(
+        self,
+        publisher: str,
+        rate_per_second: float,
+        event_factory: EventFactory,
+        num_events: int,
+    ) -> PoissonPublisher:
+        process = PoissonPublisher(
+            self.simulator,
+            self,
+            publisher,
+            rate_per_second,
+            event_factory,
+            num_events,
+            random.Random(self.rng.randrange(2**63)),
+        )
+        self._publishers.append(process)
+        return process
+
+    def add_bursty_publisher(
+        self,
+        publisher: str,
+        rate_per_second: float,
+        event_factory: EventFactory,
+        num_events: int,
+        *,
+        burstiness: float = 5.0,
+        on_mean_s: float = 0.2,
+    ) -> BurstyPublisher:
+        process = BurstyPublisher(
+            self.simulator,
+            self,
+            publisher,
+            rate_per_second,
+            event_factory,
+            num_events,
+            random.Random(self.rng.randrange(2**63)),
+            burstiness=burstiness,
+            on_mean_s=on_mean_s,
+        )
+        self._publishers.append(process)
+        return process
+
+    # ------------------------------------------------------------------
+    # Running
+
+    def _sample_queues(self) -> None:
+        for broker in self.brokers.values():
+            broker.stats.record_queue(self.simulator.now, broker.queue_length)
+            if (
+                self._abort_queue_threshold is not None
+                and broker.queue_length > self._abort_queue_threshold
+            ):
+                # The queue is far beyond anything a stable network shows:
+                # declare overload and stop burning CPU on a doomed run.
+                self._aborted_overloaded = True
+                self.simulator.request_stop()
+        if self._sampling:
+            self.simulator.schedule(self._sample_interval_ticks, self._sample_queues)
+
+    def run(
+        self,
+        *,
+        max_seconds: Optional[float] = None,
+        drain: bool = True,
+        abort_on_queue: Optional[int] = None,
+    ) -> SimulationResult:
+        """Run the simulation.
+
+        With ``max_seconds`` the clock is capped (an overloaded network never
+        drains, so saturation probes must cap); ``drain=False`` stops exactly
+        at the cap even if messages remain queued.  Without a cap the run
+        ends when all traffic has drained.  ``abort_on_queue`` ends the run
+        (marking the result overloaded) as soon as any broker's input queue
+        exceeds the given length — the fast path for saturation probes.
+        """
+        self._abort_queue_threshold = abort_on_queue
+        self._sampling = True
+        self._sample_queues()
+        if max_seconds is not None:
+            horizon = seconds_to_ticks(max_seconds)
+            self.simulator.run(until_ticks=horizon)
+            self._sampling = False
+            if drain and not any(b.queue for b in self.brokers.values()):
+                # Let in-flight messages finish when nothing is backlogged.
+                self.simulator.run()
+        else:
+            self._sampling = False
+            self.simulator.run()
+            # One final sample so overload detection sees the drained state.
+            for broker in self.brokers.values():
+                broker.stats.record_queue(self.simulator.now, broker.queue_length)
+        return SimulationResult(
+            elapsed_ticks=self.simulator.now,
+            broker_stats={name: b.stats for name, b in self.brokers.items()},
+            link_messages=dict(self.link_messages),
+            link_bytes=dict(self.link_bytes),
+            deliveries=list(self.deliveries),
+            published_events=self.published_events,
+            aborted_overloaded=self._aborted_overloaded,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkSimulation({self.protocol.name}, {len(self.brokers)} brokers, "
+            f"now={self.simulator.now})"
+        )

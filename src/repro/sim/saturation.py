@@ -1,0 +1,95 @@
+"""Saturation-point search — the machinery behind Chart 1.
+
+Chart 1 plots, for each protocol and subscription count, the event publish
+rate at which the broker network becomes overloaded.  Given a factory that
+builds-and-runs a simulation at a requested aggregate publish rate, the
+search brackets the saturation rate (geometric ramp-up until overload) and
+then bisects to the requested resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.metrics import SimulationResult
+
+#: Builds and runs a simulation at the given aggregate publish rate
+#: (events/second across all publishers), returning its result.
+RateProbe = Callable[[float], SimulationResult]
+
+
+@dataclass(frozen=True)
+class SaturationSearchResult:
+    """Outcome of a saturation search.
+
+    ``saturation_rate`` is the geometric midpoint of the final bracket
+    ``(highest_ok_rate, lowest_overloaded_rate)``; ``probes`` records every
+    ``(rate, overloaded)`` probe for inspection.
+    """
+
+    saturation_rate: float
+    highest_ok_rate: float
+    lowest_overloaded_rate: float
+    probes: Tuple[Tuple[float, bool], ...]
+
+
+def find_saturation_rate(
+    probe: RateProbe,
+    *,
+    initial_rate: float = 50.0,
+    max_rate: float = 1e6,
+    relative_resolution: float = 0.15,
+    max_probes: int = 24,
+) -> SaturationSearchResult:
+    """Bracket and bisect the lowest overloading publish rate.
+
+    Raises :class:`SimulationError` if the network is already overloaded at
+    a vanishing rate or never overloads below ``max_rate``.
+    """
+    if initial_rate <= 0:
+        raise SimulationError("initial_rate must be positive")
+    probes: List[Tuple[float, bool]] = []
+
+    def run(rate: float) -> bool:
+        overloaded = probe(rate).is_overloaded
+        probes.append((rate, overloaded))
+        return overloaded
+
+    low: Optional[float] = None  # highest rate seen NOT overloaded
+    high: Optional[float] = None  # lowest rate seen overloaded
+    rate = initial_rate
+    while len(probes) < max_probes:
+        if run(rate):
+            high = rate
+            break
+        low = rate
+        rate *= 2.0
+        if rate > max_rate:
+            raise SimulationError(
+                f"no overload up to {max_rate} events/s — raise max_rate or "
+                "check the overload thresholds"
+            )
+    if high is None:
+        raise SimulationError("probe budget exhausted while ramping up")
+    if low is None:
+        # Overloaded at the very first rate; bisect down toward zero.
+        low = high / 64.0
+        if run(low):
+            raise SimulationError(
+                f"network overloaded even at {low} events/s — the topology "
+                "cannot sustain this workload at any measurable rate"
+            )
+    while high / low > 1.0 + relative_resolution and len(probes) < max_probes:
+        middle = (low * high) ** 0.5
+        if run(middle):
+            high = middle
+        else:
+            low = middle
+    return SaturationSearchResult(
+        saturation_rate=(low * high) ** 0.5,
+        highest_ok_rate=low,
+        lowest_overloaded_rate=high,
+        probes=tuple(probes),
+    )

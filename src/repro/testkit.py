@@ -1,0 +1,177 @@
+"""Test harness for applications built on the prototype broker.
+
+Building an in-memory broker network takes a dozen lines of boilerplate
+(topology, config, transport, nodes, start, dial, pump); this module rolls
+it into one object so application tests — and this repository's own
+examples — can focus on behaviour::
+
+    with InMemoryBrokerHarness.for_chain(3, schema) as harness:
+        alice = harness.attach("c.B0")
+        pub = harness.attach("P1")
+        alice.subscribe_and_wait("a1=1")
+        harness.settle()
+        pub.publish({"a1": 1, "a2": 0})
+        harness.settle()
+        assert len(alice.received_events) == 1
+
+The harness owns the hub, so ``settle()`` (pump until quiescent) is the only
+synchronization primitive a test needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.broker.client import BrokerClient, EventHandler
+from repro.broker.node import BrokerNetworkConfig, BrokerNode
+from repro.broker.transport import InMemoryTransport
+from repro.errors import TopologyError
+from repro.matching.schema import EventSchema
+from repro.network.figures import linear_chain, star
+from repro.network.topology import Topology
+
+
+class InMemoryBrokerHarness:
+    """A running in-memory broker network plus client factory.
+
+    Parameters mirror :class:`~repro.broker.node.BrokerNetworkConfig`; the
+    harness starts every broker, wires neighbor connections, and pumps the
+    hub to quiescence.  Use as a context manager to guarantee shutdown.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        schema: EventSchema,
+        *,
+        domains=None,
+        factoring_attributes=None,
+        log_directory: Optional[str] = None,
+    ) -> None:
+        self.topology = topology
+        self.schema = schema
+        self.config = BrokerNetworkConfig(
+            topology,
+            schema,
+            domains=domains,
+            factoring_attributes=factoring_attributes,
+        )
+        self.transport = InMemoryTransport()
+        self.endpoints: Dict[str, str] = {
+            broker: f"mem://{broker}" for broker in topology.brokers()
+        }
+        self.nodes: Dict[str, BrokerNode] = {
+            broker: BrokerNode(
+                self.config,
+                broker,
+                self.transport,
+                self.endpoints,
+                log_directory=log_directory,
+            )
+            for broker in topology.brokers()
+        }
+        self.clients: List[BrokerClient] = []
+        for node in self.nodes.values():
+            node.start()
+        for node in self.nodes.values():
+            node.connect_neighbors()
+        self.settle()
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+
+    @classmethod
+    def for_chain(cls, num_brokers: int, schema: EventSchema, **kwargs) -> "InMemoryBrokerHarness":
+        """A chain ``B0 - .. - Bn-1`` with one subscriber per broker and a
+        publisher ``P1`` on ``B0`` (see :func:`repro.network.linear_chain`)."""
+        return cls(linear_chain(num_brokers, subscribers_per_broker=1), schema, **kwargs)
+
+    @classmethod
+    def for_star(cls, num_edges: int, schema: EventSchema, **kwargs) -> "InMemoryBrokerHarness":
+        """A hub-and-spoke network with a publisher on the hub."""
+        return cls(star(num_edges, subscribers_per_broker=1), schema, **kwargs)
+
+    # ------------------------------------------------------------------
+
+    def settle(self, max_rounds: int = 100) -> int:
+        """Pump the hub until no messages remain; returns messages delivered."""
+        delivered = 0
+        for _ in range(max_rounds):
+            moved = self.transport.pump()
+            delivered += moved
+            if moved == 0 and self.transport.hub.pending == 0:
+                return delivered
+        raise TopologyError(
+            f"network did not quiesce within {max_rounds} pump rounds "
+            "(a message loop?)"
+        )
+
+    def attach(
+        self,
+        client_name: str,
+        *,
+        on_event: Optional[EventHandler] = None,
+        auto_ack: bool = True,
+    ) -> BrokerClient:
+        """Connect a declared client to its home broker; returns the client."""
+        broker = self.topology.broker_of(client_name)
+        client = BrokerClient(
+            client_name,
+            self.schema,
+            self.transport,
+            self.endpoints[broker],
+            on_event=on_event,
+            auto_ack=auto_ack,
+            pump=self.transport.pump,
+        )
+        client.connect()
+        self.settle()
+        self.clients.append(client)
+        return client
+
+    def node(self, broker: str) -> BrokerNode:
+        return self.nodes[broker]
+
+    def restart_broker(self, broker: str, *, log_directory: Optional[str] = None) -> BrokerNode:
+        """Stop a broker and bring up a fresh node in its place.
+
+        Neighbors re-dial automatically (triggering the hello resync), and
+        the new node replaces the old in :attr:`nodes`.
+        """
+        self.nodes[broker].stop()
+        self.settle()
+        replacement = BrokerNode(
+            self.config,
+            broker,
+            InMemoryTransport(self.transport.hub),
+            self.endpoints,
+            log_directory=log_directory,
+        )
+        replacement.start()
+        self.nodes[broker] = replacement
+        for neighbor in self.topology.broker_neighbors(broker):
+            self.nodes[neighbor].dial_broker(broker)
+        replacement.connect_neighbors()
+        self.settle()
+        return replacement
+
+    def shutdown(self) -> None:
+        for client in self.clients:
+            if client.is_connected:
+                client.disconnect()
+        self.settle()
+        for node in self.nodes.values():
+            node.stop()
+        self.settle()
+
+    def __enter__(self) -> "InMemoryBrokerHarness":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"InMemoryBrokerHarness({len(self.nodes)} brokers, "
+            f"{len(self.clients)} clients attached)"
+        )

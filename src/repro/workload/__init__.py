@@ -1,0 +1,26 @@
+"""Workload generation: the paper's simulation control parameters, Zipf
+value distributions, locality of interest, and random subscription/event
+generators."""
+
+from repro.workload.distributions import ZipfSampler, rotated
+from repro.workload.generators import (
+    EventGenerator,
+    RegionOf,
+    SubscriptionGenerator,
+    figure6_region_of,
+    measure_selectivity,
+)
+from repro.workload.spec import CHART1_SPEC, CHART2_SPEC, WorkloadSpec
+
+__all__ = [
+    "CHART1_SPEC",
+    "CHART2_SPEC",
+    "EventGenerator",
+    "RegionOf",
+    "SubscriptionGenerator",
+    "WorkloadSpec",
+    "ZipfSampler",
+    "figure6_region_of",
+    "measure_selectivity",
+    "rotated",
+]

@@ -1,0 +1,74 @@
+"""Random distributions used by the paper's workload generators.
+
+Subscriptions and events draw attribute values from a Zipf distribution;
+event arrivals are Poisson (handled by the simulator's publisher processes).
+:class:`ZipfSampler` is a small, seedable, exact sampler over a finite value
+set — no numpy dependency, so the core library stays pure-Python.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Sequence, TypeVar
+
+from repro.errors import SimulationError
+
+T = TypeVar("T")
+
+
+class ZipfSampler:
+    """Samples from ``values`` with Zipf weights ``1 / rank**exponent``.
+
+    The first element of ``values`` is the most popular (rank 1).  Sampling
+    is inverse-CDF over the precomputed cumulative weights: O(log n).
+    """
+
+    def __init__(self, values: Sequence[T], exponent: float = 1.0) -> None:
+        if not values:
+            raise SimulationError("cannot sample from an empty value set")
+        if exponent < 0:
+            raise SimulationError("zipf exponent must be >= 0")
+        self.values: List[T] = list(values)
+        self.exponent = exponent
+        cumulative: List[float] = []
+        total = 0.0
+        for rank in range(1, len(self.values) + 1):
+            total += 1.0 / rank**exponent
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total = total
+
+    def probability_of_rank(self, rank: int) -> float:
+        """The probability of the value at 1-based ``rank``."""
+        if not 1 <= rank <= len(self.values):
+            raise SimulationError(f"rank {rank} out of range")
+        return (1.0 / rank**self.exponent) / self._total
+
+    @property
+    def collision_probability(self) -> float:
+        """Probability two independent draws agree — the per-attribute match
+        probability when subscription and event values share a ranking."""
+        return sum(
+            self.probability_of_rank(r) ** 2 for r in range(1, len(self.values) + 1)
+        )
+
+    def sample(self, rng: random.Random) -> T:
+        point = rng.random() * self._total
+        index = bisect.bisect_left(self._cumulative, point)
+        if index >= len(self.values):  # guard against floating-point edge
+            index = len(self.values) - 1
+        return self.values[index]
+
+    def __repr__(self) -> str:
+        return f"ZipfSampler({len(self.values)} values, s={self.exponent})"
+
+
+def rotated(values: Sequence[T], shift: int) -> List[T]:
+    """Rotate a ranking — the locality mechanism: each region ranks the same
+    values differently, so same-region subscribers share interests while
+    cross-region interests diverge."""
+    if not values:
+        return []
+    shift %= len(values)
+    return list(values[shift:]) + list(values[:shift])

@@ -1,0 +1,112 @@
+"""Workload specification — the simulation control parameters of Section 4.1.
+
+"The broker network simulates an information space with several control
+parameters, such as the number of attributes in the event schema, the number
+of values per attribute and the number of factoring levels. [...] one of the
+control parameters is the probability that each attribute is a * [...].  For
+non-* attributes, the values are generated according to a zipf distribution."
+
+Both published simulation runs use a geometric non-``*`` schedule: the first
+attribute is constrained with probability 0.98, decaying by a fixed factor
+(0.85 for Chart 1, 0.82 for Chart 2) toward the last attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import SimulationError
+from repro.matching.schema import EventSchema, uniform_schema
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Control parameters for subscription/event generation."""
+
+    num_attributes: int = 10
+    values_per_attribute: int = 5
+    factoring_levels: int = 2
+    first_non_star_probability: float = 0.98
+    non_star_decay: float = 0.85
+    zipf_exponent: float = 1.0
+    #: Number of locality regions (Figure 6 has three intercontinental
+    #: subtrees); 1 disables locality.
+    locality_regions: int = 3
+    #: Probability that a constrained attribute uses a range test
+    #: (``<``/``<=``/``>``/``>=`` against a sampled bound) instead of an
+    #: equality — the paper's "range tests are also possible" case.
+    range_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_attributes < 1:
+            raise SimulationError("num_attributes must be >= 1")
+        if self.values_per_attribute < 1:
+            raise SimulationError("values_per_attribute must be >= 1")
+        if not 0 <= self.factoring_levels < self.num_attributes:
+            raise SimulationError(
+                "factoring_levels must be in [0, num_attributes)"
+            )
+        if not 0.0 <= self.first_non_star_probability <= 1.0:
+            raise SimulationError("first_non_star_probability must be in [0, 1]")
+        if not 0.0 < self.non_star_decay <= 1.0:
+            raise SimulationError("non_star_decay must be in (0, 1]")
+        if self.locality_regions < 1:
+            raise SimulationError("locality_regions must be >= 1")
+        if not 0.0 <= self.range_probability <= 1.0:
+            raise SimulationError("range_probability must be in [0, 1]")
+
+    def schema(self) -> EventSchema:
+        """The synthetic ``a1..aN`` integer schema."""
+        return uniform_schema(self.num_attributes)
+
+    @property
+    def attribute_names(self) -> List[str]:
+        return [f"a{i + 1}" for i in range(self.num_attributes)]
+
+    @property
+    def values(self) -> List[int]:
+        """The global value ranking, most popular first."""
+        return list(range(self.values_per_attribute))
+
+    def domains(self) -> dict:
+        """Finite attribute domains, as the PST/annotations want them."""
+        return {name: self.values for name in self.attribute_names}
+
+    @property
+    def factoring_attributes(self) -> List[str]:
+        """The index attributes ("factoring levels") — the first ones, which
+        the non-``*`` schedule makes the most selective."""
+        return self.attribute_names[: self.factoring_levels]
+
+    def non_star_probability(self, attribute_index: int) -> float:
+        """Probability that attribute ``attribute_index`` (0-based) is
+        constrained in a random subscription."""
+        if not 0 <= attribute_index < self.num_attributes:
+            raise SimulationError(f"attribute index {attribute_index} out of range")
+        return self.first_non_star_probability * self.non_star_decay**attribute_index
+
+    def expected_non_star_count(self) -> float:
+        return sum(self.non_star_probability(i) for i in range(self.num_attributes))
+
+
+#: Chart 1 parameters: "10 attributes (with 2 attributes used for factoring),
+#: and each attribute has 5 values [...] first attribute is non-* with
+#: probability 0.98, and this probability decreases at the rate of 85%".
+CHART1_SPEC = WorkloadSpec(
+    num_attributes=10,
+    values_per_attribute=5,
+    factoring_levels=2,
+    first_non_star_probability=0.98,
+    non_star_decay=0.85,
+)
+
+#: Chart 2 parameters: "10 attributes (with 3 attributes used for factoring),
+#: and each attribute has 3 values [...] decreases at the rate of 82%".
+CHART2_SPEC = WorkloadSpec(
+    num_attributes=10,
+    values_per_attribute=3,
+    factoring_levels=3,
+    first_non_star_probability=0.98,
+    non_star_decay=0.82,
+)

@@ -1,0 +1,111 @@
+"""Broker restart and subscription resync (anti-entropy on hello)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker import (
+    BrokerClient,
+    BrokerNetworkConfig,
+    BrokerNode,
+    InMemoryTransport,
+)
+from repro.matching import uniform_schema
+from repro.network import NodeKind, Topology
+
+SCHEMA = uniform_schema(2)
+
+
+def build_world():
+    topology = Topology()
+    topology.add_broker("B0")
+    topology.add_broker("B1")
+    topology.add_link("B0", "B1", latency_ms=5.0)
+    topology.add_client("alice", "B0")
+    topology.add_client("bob", "B1")
+    topology.add_client("pub", "B0", kind=NodeKind.PUBLISHER)
+    config = BrokerNetworkConfig(topology, SCHEMA)
+    transport = InMemoryTransport()
+    endpoints = {"B0": "mem://B0", "B1": "mem://B1"}
+    return topology, config, transport, endpoints
+
+
+def start_node(config, name, transport, endpoints):
+    node = BrokerNode(config, name, transport, endpoints)
+    node.start()
+    return node
+
+
+def attach(name, transport, broker_endpoint):
+    client = BrokerClient(name, SCHEMA, transport, broker_endpoint, pump=transport.pump)
+    client.connect()
+    transport.pump()
+    return client
+
+
+class TestRestartResync:
+    def test_restarted_broker_relearns_subscriptions(self):
+        topology, config, transport, endpoints = build_world()
+        b0 = start_node(config, "B0", transport, endpoints)
+        b1 = start_node(config, "B1", transport, endpoints)
+        b0.connect_neighbors()
+        transport.pump()
+        alice = attach("alice", transport, "mem://B0")
+        alice.subscribe_and_wait("a1=1")
+        transport.pump()
+        assert b1.subscription_count == 1
+
+        # B1 crashes and restarts with empty state.
+        b1.stop()
+        transport.pump()
+        b1_listener_free = InMemoryTransport(transport.hub)  # same hub
+        b1_restarted = start_node(config, "B1", b1_listener_free, endpoints)
+        assert b1_restarted.subscription_count == 0
+        # B0 re-dials; the hello handshake must resync B1.
+        b0.dial_broker("B1")
+        transport.pump()
+        assert b1_restarted.subscription_count == 1
+
+        # And routing through the restarted broker works again.
+        bob = attach("bob", transport, "mem://B1")
+        bob.subscribe_and_wait("a2=1")
+        transport.pump()
+        pub = attach("pub", transport, "mem://B0")
+        pub.publish({"a1": 0, "a2": 1})
+        transport.pump()
+        assert len(bob.received_events) == 1
+
+    def test_restarted_broker_dialing_out_gets_resynced(self):
+        topology, config, transport, endpoints = build_world()
+        b0 = start_node(config, "B0", transport, endpoints)
+        b1 = start_node(config, "B1", transport, endpoints)
+        b0.connect_neighbors()
+        transport.pump()
+        alice = attach("alice", transport, "mem://B0")
+        alice.subscribe_and_wait("a1=1")
+        transport.pump()
+
+        b1.stop()
+        transport.pump()
+        b1_restarted = start_node(config, "B1", InMemoryTransport(transport.hub), endpoints)
+        # This time the restarted broker dials out itself.
+        b1_restarted.dial_broker("B0")
+        transport.pump()
+        assert b1_restarted.subscription_count == 1
+
+    def test_resync_is_idempotent(self):
+        topology, config, transport, endpoints = build_world()
+        b0 = start_node(config, "B0", transport, endpoints)
+        b1 = start_node(config, "B1", transport, endpoints)
+        b0.connect_neighbors()
+        transport.pump()
+        alice = attach("alice", transport, "mem://B0")
+        alice.subscribe_and_wait("a1=1")
+        transport.pump()
+        # Redundant re-dials must not duplicate subscriptions anywhere.
+        b0.dial_broker("B1")
+        transport.pump()
+        b1.dial_broker("B0")
+        transport.pump()
+        assert b0.subscription_count == 1
+        assert b1.subscription_count == 1

@@ -1,0 +1,132 @@
+"""The paper's core correctness property, end to end.
+
+For any topology, subscription set and event, link matching must deliver the
+event to exactly the clients whose subscriptions match (the set brute-force
+matching computes), visiting each broker at most once and never putting more
+than one copy of the event on a link.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ContentRoutedNetwork
+from repro.matching import Event, uniform_schema
+from repro.network import figure6_topology, linear_chain, star, binary_tree
+
+SCHEMA = uniform_schema(4)
+DOMAINS = {f"a{i}": [0, 1, 2] for i in range(1, 5)}
+
+
+def populate(network: ContentRoutedNetwork, seed: int, constrain_probability=0.5) -> None:
+    rng = random.Random(seed)
+    for client in network.topology.subscribers():
+        tests = [
+            f"a{j}={rng.randrange(3)}"
+            for j in range(1, 5)
+            if rng.random() < constrain_probability
+        ]
+        network.subscribe(client, " & ".join(tests) if tests else "*")
+
+
+def random_event(rng: random.Random) -> Event:
+    return Event.from_tuple(SCHEMA, tuple(rng.randrange(3) for _ in range(4)))
+
+
+def check_equivalence(network: ContentRoutedNetwork, trials: int, seed: int) -> None:
+    rng = random.Random(seed)
+    publishers = network.topology.publishers()
+    for _ in range(trials):
+        event = random_event(rng)
+        expected = network.expected_recipients(event)
+        for publisher in publishers:
+            trace = network.publish(publisher, event)
+            assert trace.delivered_clients == expected, (publisher, event)
+            # At most one copy per link.
+            assert len(trace.links_used) == len(set(trace.links_used))
+            # Each broker decided at most once.
+            assert len(trace.broker_steps) == len(trace.decisions)
+
+
+TOPOLOGIES = [
+    ("chain", lambda: linear_chain(5, subscribers_per_broker=2)),
+    ("star", lambda: star(4, subscribers_per_broker=2)),
+    ("binary-tree", lambda: binary_tree(3, subscribers_per_leaf=2)),
+    ("figure6", lambda: figure6_topology(subscribers_per_broker=2)),
+]
+
+
+@pytest.mark.parametrize("name,builder", TOPOLOGIES, ids=[t[0] for t in TOPOLOGIES])
+class TestDeliveryEquivalence:
+    def test_plain_tree(self, name, builder):
+        network = ContentRoutedNetwork(builder(), SCHEMA, domains=DOMAINS)
+        populate(network, seed=1)
+        check_equivalence(network, trials=40, seed=2)
+
+    def test_with_factoring(self, name, builder):
+        network = ContentRoutedNetwork(
+            builder(), SCHEMA, domains=DOMAINS, factoring_attributes=["a1"]
+        )
+        populate(network, seed=3)
+        check_equivalence(network, trials=40, seed=4)
+
+
+class TestDynamicSubscriptions:
+    def test_equivalence_holds_across_churn(self):
+        topology = linear_chain(4, subscribers_per_broker=2)
+        network = ContentRoutedNetwork(topology, SCHEMA, domains=DOMAINS)
+        rng = random.Random(9)
+        live = []
+        for round_number in range(30):
+            # Random churn: add or remove a subscription.
+            if live and rng.random() < 0.4:
+                victim = live.pop(rng.randrange(len(live)))
+                network.unsubscribe(victim.subscription_id)
+            else:
+                client = rng.choice(topology.subscribers())
+                tests = [
+                    f"a{j}={rng.randrange(3)}" for j in range(1, 5) if rng.random() < 0.5
+                ]
+                live.append(
+                    network.subscribe(client, " & ".join(tests) if tests else "*")
+                )
+            event = random_event(rng)
+            trace = network.publish("P1", event)
+            assert trace.delivered_clients == network.expected_recipients(event)
+
+    def test_no_subscriptions_no_traffic(self):
+        topology = linear_chain(3, subscribers_per_broker=1)
+        network = ContentRoutedNetwork(topology, SCHEMA, domains=DOMAINS)
+        trace = network.publish("P1", random_event(random.Random(0)))
+        assert trace.delivered_clients == set()
+        assert trace.links_used == []  # nothing leaves the publishing broker
+
+
+class TestLocalityClaims:
+    def test_selective_event_stays_in_its_region(self):
+        """Link matching "exploits locality": an event whose only matching
+        subscribers share the publisher's subtree never crosses the
+        intercontinental links."""
+        topology = figure6_topology(subscribers_per_broker=1)
+        network = ContentRoutedNetwork(topology, SCHEMA, domains=DOMAINS)
+        # One subscriber near P1 (tree T0) wants a1=0; nobody else subscribes.
+        network.subscribe("S.T0.L00.00", "a1=0")
+        trace = network.publish("P1", Event.from_tuple(SCHEMA, (0, 0, 0, 0)))
+        assert trace.delivered_clients == {"S.T0.L00.00"}
+        for source, target in trace.links_used:
+            assert source.startswith("T0.") and target.startswith("T0.")
+
+    def test_chart2_hops_accounting(self):
+        topology = linear_chain(4, subscribers_per_broker=1)
+        network = ContentRoutedNetwork(topology, SCHEMA, domains=DOMAINS)
+        network.subscribe("S.B0.00", "*")
+        network.subscribe("S.B3.00", "*")
+        trace = network.publish("P1", random_event(random.Random(1)))
+        assert trace.deliveries["S.B0.00"] == 1  # on the publishing broker
+        assert trace.deliveries["S.B3.00"] == 4  # three broker hops away
+        # Cumulative steps grow along the path.
+        assert trace.cumulative_steps_to("S.B3.00") >= trace.cumulative_steps_to(
+            "S.B0.00"
+        )

@@ -1,0 +1,104 @@
+"""TCP end-to-end test of the prototype broker network (real sockets)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.broker import BrokerClient, BrokerNetworkConfig, BrokerNode, TcpTransport
+from repro.matching import stock_trade_schema
+from repro.network import NodeKind, Topology
+
+
+def wait_until(predicate, timeout_s=8.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+@pytest.fixture
+def tcp_network():
+    schema = stock_trade_schema()
+    topology = Topology()
+    topology.add_broker("B0")
+    topology.add_broker("B1")
+    topology.add_broker("B2")
+    topology.add_link("B0", "B1", latency_ms=1.0)
+    topology.add_link("B1", "B2", latency_ms=1.0)
+    topology.add_client("alice", "B0")
+    topology.add_client("carol", "B2")
+    topology.add_client("pub", "B1", kind=NodeKind.PUBLISHER)
+    config = BrokerNetworkConfig(topology, schema)
+    transport = TcpTransport(sender_threads=2)
+    # Ephemeral ports: every node listens on :0 and publishes its actual
+    # port back into the shared endpoints mapping at start().
+    endpoints = {b: "127.0.0.1:0" for b in topology.brokers()}
+    nodes = {b: BrokerNode(config, b, transport, endpoints) for b in topology.brokers()}
+    for node in nodes.values():
+        node.start()
+    for node in nodes.values():
+        node.connect_neighbors()
+    assert wait_until(
+        lambda: all(len(n.connected_brokers) >= 1 for n in nodes.values())
+    )
+    yield schema, transport, endpoints, nodes
+    for node in nodes.values():
+        node.stop()
+    transport.close()
+
+
+class TestTcpEndToEnd:
+    def test_pubsub_across_three_brokers(self, tcp_network):
+        schema, transport, endpoints, nodes = tcp_network
+        alice_events = []
+        carol_events = []
+        alice = BrokerClient(
+            "alice", schema, transport, endpoints["B0"],
+            on_event=lambda e, s: alice_events.append(e),
+        )
+        carol = BrokerClient(
+            "carol", schema, transport, endpoints["B2"],
+            on_event=lambda e, s: carol_events.append(e),
+        )
+        pub = BrokerClient("pub", schema, transport, endpoints["B1"])
+        alice.connect()
+        carol.connect()
+        pub.connect()
+        assert wait_until(lambda: alice.connected_broker == "B0")
+        assert wait_until(lambda: carol.connected_broker == "B2")
+        assert wait_until(lambda: pub.connected_broker == "B1")
+        alice.subscribe_and_wait("issue='IBM'", timeout_s=8.0)
+        carol.subscribe_and_wait("volume>=1000", timeout_s=8.0)
+        # Give the subscription flood a moment to reach every broker.
+        assert wait_until(
+            lambda: all(n.subscription_count == 2 for n in nodes.values())
+        )
+        for i in range(60):
+            pub.publish(
+                {"issue": "IBM" if i % 2 == 0 else "MSFT", "price": 1.0, "volume": i * 100}
+            )
+        assert wait_until(lambda: len(alice_events) == 30)
+        assert wait_until(lambda: len(carol_events) == 50)
+
+    def test_reconnect_over_tcp(self, tcp_network):
+        schema, transport, endpoints, nodes = tcp_network
+        alice = BrokerClient("alice", schema, transport, endpoints["B0"])
+        pub = BrokerClient("pub", schema, transport, endpoints["B1"])
+        alice.connect()
+        pub.connect()
+        assert wait_until(lambda: alice.connected_broker == "B0")
+        assert wait_until(lambda: pub.connected_broker == "B1")
+        alice.subscribe_and_wait("*", timeout_s=8.0)
+        assert wait_until(lambda: nodes["B1"].subscription_count == 1)
+        pub.publish({"issue": "A", "price": 1.0, "volume": 1})
+        assert wait_until(lambda: len(alice.received_events) == 1)
+        alice.drop_connection()
+        pub.publish({"issue": "B", "price": 2.0, "volume": 2})
+        assert wait_until(lambda: len(nodes["B0"].session("alice").log) >= 1)
+        alice.connect(resume=True)
+        assert wait_until(lambda: len(alice.received_events) == 2)
+        assert [e["issue"] for e in alice.received_events] == ["A", "B"]

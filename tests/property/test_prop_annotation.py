@@ -1,0 +1,148 @@
+"""Property-based tests of annotation soundness and incrementality.
+
+Two deep invariants:
+
+1. **Soundness** — for every node reachable by some event's search, a Yes at
+   link *l* implies every event reaching that node matches a subscriber on
+   *l*, and a No implies none does (checked at the root, which every search
+   reaches).
+2. **Incrementality** — updating annotations along a changed subscription's
+   path (``update_path``) yields exactly the same vectors as recomputing
+   from scratch, across arbitrary insert/remove interleavings.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import M, N, TreeAnnotation, Y
+from repro.matching import (
+    EqualityTest,
+    Event,
+    ParallelSearchTree,
+    Predicate,
+    Subscription,
+    uniform_schema,
+)
+
+SCHEMA = uniform_schema(3)
+DOMAIN = [0, 1, 2]
+DOMAINS = {name: DOMAIN for name in SCHEMA.names}
+NUM_LINKS = 3
+
+predicate_specs = st.tuples(
+    *(st.one_of(st.none(), st.sampled_from(DOMAIN)) for _ in range(3))
+)
+link_choices = st.integers(min_value=0, max_value=NUM_LINKS - 1)
+subscription_data = st.lists(
+    st.tuples(predicate_specs, link_choices), min_size=0, max_size=15
+)
+
+#: Subscribers are named after their link so link_of is trivial.
+def link_of(subscription: Subscription) -> int:
+    return int(subscription.subscriber)
+
+
+def build(specs_with_links):
+    tree = ParallelSearchTree(SCHEMA, domains=DOMAINS)
+    subscriptions = []
+    for specs, link in specs_with_links:
+        tests = {
+            name: EqualityTest(value)
+            for name, value in zip(SCHEMA.names, specs)
+            if value is not None
+        }
+        subscription = Subscription(Predicate(SCHEMA, tests), str(link))
+        tree.insert(subscription)
+        subscriptions.append(subscription)
+    return tree, subscriptions
+
+
+def all_events():
+    return [
+        Event.from_tuple(SCHEMA, (a, b, c))
+        for a in DOMAIN
+        for b in DOMAIN
+        for c in DOMAIN
+    ]
+
+
+class TestSoundness:
+    @given(data=subscription_data)
+    @settings(max_examples=150)
+    def test_root_annotation_vs_exhaustive_truth(self, data):
+        tree, subscriptions = build(data)
+        annotation = TreeAnnotation(NUM_LINKS, link_of)
+        root_vector = annotation.annotate(tree)
+        for link in range(NUM_LINKS):
+            on_link = [s for s in subscriptions if link_of(s) == link]
+            outcomes = [
+                any(s.predicate.matches(event) for s in on_link)
+                for event in all_events()
+            ]
+            if root_vector[link] is Y:
+                assert all(outcomes), "Yes must mean every event matches"
+            elif root_vector[link] is N:
+                assert not any(outcomes), "No must mean no event matches"
+            # Maybe is always sound.
+
+    @given(data=subscription_data)
+    @settings(max_examples=100)
+    def test_domain_knowledge_only_sharpens(self, data):
+        """With domains declared, Y/N may replace M but never flip Y<->N."""
+        tree_plain, _ = build(data)
+        tree_plain.domains.clear()
+        annotation_plain = TreeAnnotation(NUM_LINKS, link_of)
+        open_root = annotation_plain.annotate(tree_plain)
+        tree_domained, _ = build(data)
+        annotation_domained = TreeAnnotation(NUM_LINKS, link_of)
+        domain_root = annotation_domained.annotate(tree_domained)
+        for open_trit, domain_trit in zip(open_root, domain_root):
+            if open_trit is not M:
+                assert domain_trit is open_trit
+
+
+class AnnotationMachine(RuleBasedStateMachine):
+    """Insert/remove subscriptions, patching annotations incrementally; a
+    from-scratch annotation of the same tree must agree on every node."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = ParallelSearchTree(SCHEMA, domains=DOMAINS)
+        self.annotation = TreeAnnotation(NUM_LINKS, link_of)
+        self.annotation.annotate(self.tree)
+        self.live = []
+
+    @rule(specs=predicate_specs, link=link_choices)
+    def insert(self, specs, link):
+        tests = {
+            name: EqualityTest(value)
+            for name, value in zip(SCHEMA.names, specs)
+            if value is not None
+        }
+        subscription = Subscription(Predicate(SCHEMA, tests), str(link))
+        self.tree.insert(subscription)
+        self.live.append(subscription)
+        self.annotation.update_path(self.tree, subscription.predicate)
+
+    @rule(data=st.data())
+    def remove(self, data):
+        if not self.live:
+            return
+        victim = data.draw(st.sampled_from(self.live))
+        self.live.remove(victim)
+        self.tree.remove(victim.subscription_id)
+        self.annotation.update_path(self.tree, victim.predicate)
+
+    @invariant()
+    def incremental_equals_full(self):
+        fresh = TreeAnnotation(NUM_LINKS, link_of)
+        fresh.annotate(self.tree)
+        for node in self.tree.nodes():
+            assert self.annotation.vector_for(node) == fresh.vector_for(node), (
+                f"incremental annotation diverged at node #{node.node_id}"
+            )
+
+
+TestAnnotationMachine = AnnotationMachine.TestCase

@@ -1,0 +1,112 @@
+"""Property-based tests of the binary codecs (events and wire messages)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.broker import decode_event, decode_message, encode_event, encode_message
+from repro.broker import messages as wire
+from repro.errors import CodecError
+from repro.matching import Event, EventSchema
+
+import pytest
+
+SCHEMA = EventSchema(
+    [("s", "string"), ("i", "integer"), ("f", "float"), ("d", "dollar"), ("b", "boolean")]
+)
+
+safe_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=200
+)
+i64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+u64 = st.integers(min_value=0, max_value=2**64 - 1)
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+
+
+event_values = st.fixed_dictionaries(
+    {
+        "s": safe_text,
+        "i": i64,
+        "f": finite_floats,
+        "d": finite_floats,
+        "b": st.booleans(),
+    }
+)
+
+
+class TestEventCodec:
+    @given(values=event_values)
+    @settings(max_examples=200)
+    def test_roundtrip(self, values):
+        event = Event(SCHEMA, values)
+        assert decode_event(SCHEMA, encode_event(event)) == event
+
+    @given(values=event_values)
+    @settings(max_examples=50)
+    def test_truncation_always_detected(self, values):
+        data = encode_event(Event(SCHEMA, values))
+        for cut in range(len(data)):
+            with pytest.raises(CodecError):
+                decode_event(SCHEMA, data[:cut])
+
+    @given(values=event_values, trailing=st.binary(min_size=1, max_size=4))
+    @settings(max_examples=50)
+    def test_trailing_bytes_detected(self, values, trailing):
+        data = encode_event(Event(SCHEMA, values))
+        with pytest.raises(CodecError):
+            decode_event(SCHEMA, data + trailing)
+
+
+messages = st.one_of(
+    st.builds(wire.Connect, client_name=safe_text.filter(bool), last_seq=u64),
+    st.builds(wire.ConnAck, broker_name=safe_text, backlog=u32),
+    st.builds(wire.Subscribe, request_id=u32, expression=safe_text),
+    st.builds(wire.SubAck, request_id=u32, subscription_id=u64),
+    st.builds(wire.Unsubscribe, request_id=u32, subscription_id=u64),
+    st.builds(wire.UnsubAck, request_id=u32, subscription_id=u64),
+    st.builds(wire.Publish, event_data=st.binary(max_size=500)),
+    st.builds(wire.EventDelivery, seq=u64, event_data=st.binary(max_size=500)),
+    st.builds(wire.Ack, seq=u64),
+    st.builds(wire.Disconnect),
+    st.builds(wire.BrokerHello, broker_name=safe_text),
+    st.builds(
+        wire.BrokerEvent, root=safe_text, publisher=safe_text,
+        event_data=st.binary(max_size=500),
+    ),
+    st.builds(
+        wire.SubPropagate,
+        subscription_id=u64, subscriber=safe_text,
+        expression=safe_text, origin=safe_text,
+    ),
+    st.builds(wire.UnsubPropagate, subscription_id=u64, origin=safe_text),
+    st.builds(wire.ErrorReply, request_id=u32, reason=safe_text),
+)
+
+
+class TestMessageCodec:
+    @given(message=messages)
+    @settings(max_examples=300)
+    def test_roundtrip(self, message):
+        assert decode_message(encode_message(message)) == message
+
+    @given(message=messages)
+    @settings(max_examples=60)
+    def test_no_partial_decode(self, message):
+        data = encode_message(message)
+        for cut in range(len(data)):
+            try:
+                decoded = decode_message(data[:cut])
+            except CodecError:
+                continue
+            # The only prefix allowed to decode is one that equals the whole
+            # message (possible when trailing fields are empty strings).
+            assert decoded == message and cut == len(data)
+
+    @given(junk=st.binary(min_size=0, max_size=64))
+    @settings(max_examples=200)
+    def test_junk_never_crashes_decoder(self, junk):
+        try:
+            decode_message(junk)
+        except CodecError:
+            pass  # rejection is the expected path

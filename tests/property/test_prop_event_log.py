@@ -1,0 +1,108 @@
+"""Property-based tests of the event log's reliability invariants.
+
+Modeled as a random interleaving of appends, acks, collections and
+reconnect reads; the invariant is that a client that acked up to ``k`` can
+always read back exactly the events after ``k``, in order, regardless of
+when garbage collection ran.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.broker import EventLog
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.binary(max_size=8)),
+        st.tuples(st.just("ack"), st.none()),
+        st.tuples(st.just("collect"), st.none()),
+    ),
+    max_size=60,
+)
+
+
+class TestLogInvariants:
+    @given(ops=operations)
+    @settings(max_examples=200)
+    def test_backlog_matches_reference_model(self, ops):
+        log = EventLog("client")
+        reference = []  # list of (seq, payload)
+        acked = 0
+        for op, payload in ops:
+            if op == "append":
+                seq = log.append(payload)
+                reference.append((seq, payload))
+                assert seq == len(reference)
+            elif op == "ack" and reference:
+                # Ack some prefix (here: everything sent so far).
+                acked = reference[-1][0]
+                log.ack(acked)
+            elif op == "collect":
+                log.collect()
+            # Invariant: the unacked suffix is always fully readable.
+            expected = [(s, p) for s, p in reference if s > acked]
+            assert log.entries_after(acked) == expected
+
+    @given(
+        num_events=st.integers(min_value=0, max_value=40),
+        ack_point=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=200)
+    def test_reconnect_replay_exact(self, num_events, ack_point):
+        log = EventLog("client")
+        payloads = [bytes([i % 256]) for i in range(num_events)]
+        for payload in payloads:
+            log.append(payload)
+        ack_point = min(ack_point, num_events)
+        if ack_point:
+            log.ack(ack_point)
+        log.collect()
+        replay = log.entries_after(ack_point)
+        assert [p for _s, p in replay] == payloads[ack_point:]
+        assert [s for s, _p in replay] == list(range(ack_point + 1, num_events + 1))
+
+
+class LogMachine(RuleBasedStateMachine):
+    """Stateful fuzz of append/ack/collect with a reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.log = EventLog("client")
+        self.sent = []  # payloads in order
+        self.acked = 0
+
+    @rule(payload=st.binary(max_size=6))
+    def append(self, payload):
+        seq = self.log.append(payload)
+        self.sent.append(payload)
+        assert seq == len(self.sent)
+
+    @rule(data=st.data())
+    def ack_prefix(self, data):
+        if not self.sent:
+            return
+        upto = data.draw(st.integers(min_value=0, max_value=len(self.sent)))
+        self.log.ack(upto)
+        self.acked = max(self.acked, upto)
+
+    @rule()
+    def collect(self):
+        self.log.collect()
+
+    @invariant()
+    def unacked_suffix_intact(self):
+        expected = [
+            (i + 1, payload)
+            for i, payload in enumerate(self.sent)
+            if i + 1 > self.acked
+        ]
+        assert self.log.entries_after(self.acked) == expected
+
+    @invariant()
+    def ack_watermark_consistent(self):
+        assert self.log.acked == self.acked
+
+
+TestLogMachine = LogMachine.TestCase

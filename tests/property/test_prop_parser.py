@@ -1,0 +1,83 @@
+"""Property-based tests of the subscription expression parser."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParseError
+from repro.matching import (
+    EqualityTest,
+    Event,
+    Predicate,
+    RangeOp,
+    RangeTest,
+    parse_predicate,
+    uniform_schema,
+)
+from repro.matching.schema import AttributeType, EventSchema
+
+import pytest
+
+SCHEMA = EventSchema([("name", "string"), ("price", "float"), ("qty", "integer")])
+
+safe_strings = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=30
+)
+numbers = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+
+
+@st.composite
+def predicates(draw):
+    """A random predicate over SCHEMA built from test objects directly."""
+    tests = {}
+    if draw(st.booleans()):
+        tests["name"] = EqualityTest(draw(safe_strings))
+    if draw(st.booleans()):
+        op = draw(st.sampled_from(list(RangeOp)))
+        tests["price"] = RangeTest(op, draw(numbers))
+    if draw(st.booleans()):
+        tests["qty"] = EqualityTest(draw(st.integers(-1000, 1000)))
+    return Predicate(SCHEMA, tests)
+
+
+class TestDescribeParseRoundtrip:
+    @given(predicate=predicates())
+    @settings(max_examples=300)
+    def test_roundtrip(self, predicate):
+        assert parse_predicate(SCHEMA, predicate.describe()) == predicate
+
+    @given(predicate=predicates(), data=st.data())
+    @settings(max_examples=100)
+    def test_roundtrip_preserves_semantics(self, predicate, data):
+        reparsed = parse_predicate(SCHEMA, predicate.describe())
+        event = Event(
+            SCHEMA,
+            {
+                "name": data.draw(safe_strings),
+                "price": data.draw(
+                    st.floats(allow_nan=False, allow_infinity=False, width=32)
+                ),
+                "qty": data.draw(st.integers(-1000, 1000)),
+            },
+        )
+        assert reparsed.matches(event) == predicate.matches(event)
+
+
+class TestRobustness:
+    @given(junk=st.text(max_size=40))
+    @settings(max_examples=300)
+    def test_parser_never_crashes(self, junk):
+        """Arbitrary input either parses or raises ParseError — nothing else."""
+        try:
+            parse_predicate(SCHEMA, junk)
+        except ParseError:
+            pass
+
+    @given(value=st.integers(min_value=0, max_value=10**12))
+    def test_integer_literals_exact(self, value):
+        predicate = parse_predicate(uniform_schema(1), f"a1={value}")
+        test = predicate.test_for("a1")
+        assert isinstance(test, EqualityTest) and test.value == value

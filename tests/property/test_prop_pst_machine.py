@@ -1,0 +1,84 @@
+"""Stateful fuzzing of the Parallel Search Tree against a reference model.
+
+Random interleavings of insert / remove / eliminate-trivial-tests / match;
+the model is a plain list of subscriptions evaluated brute force.  Catches
+structural corruption that single-shot property tests can miss (e.g. a
+splice interacting with a later removal).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.matching import (
+    EqualityTest,
+    Event,
+    ParallelSearchTree,
+    Predicate,
+    Subscription,
+    uniform_schema,
+)
+
+SCHEMA = uniform_schema(3)
+DOMAIN = [0, 1, 2]
+
+predicate_specs = st.tuples(
+    *(st.one_of(st.none(), st.sampled_from(DOMAIN)) for _ in range(3))
+)
+event_values = st.tuples(*(st.sampled_from(DOMAIN) for _ in range(3)))
+
+
+class PstMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tree = ParallelSearchTree(SCHEMA)
+        self.model = {}  # subscription_id -> Subscription
+
+    @rule(specs=predicate_specs)
+    def insert(self, specs):
+        tests = {
+            name: EqualityTest(value)
+            for name, value in zip(SCHEMA.names, specs)
+            if value is not None
+        }
+        subscription = Subscription(Predicate(SCHEMA, tests), "s")
+        self.tree.insert(subscription)
+        self.model[subscription.subscription_id] = subscription
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def remove(self, data):
+        victim_id = data.draw(st.sampled_from(sorted(self.model)))
+        removed = self.tree.remove(victim_id)
+        assert removed.subscription_id == victim_id
+        del self.model[victim_id]
+
+    @rule()
+    def optimize(self):
+        self.tree.eliminate_trivial_tests()
+
+    @rule(values=event_values)
+    def match(self, values):
+        event = Event.from_tuple(SCHEMA, values)
+        expected = {
+            sid for sid, s in self.model.items() if s.predicate.matches(event)
+        }
+        actual = {
+            s.subscription_id for s in self.tree.match(event).subscriptions
+        }
+        assert actual == expected
+
+    @invariant()
+    def registry_size_consistent(self):
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def empty_tree_is_single_root(self):
+        if not self.model:
+            # After everything is removed, pruning must have collapsed the
+            # structure back to a bare root (no leaked nodes).
+            assert self.tree.node_count() == 1
+
+
+TestPstMachine = PstMachine.TestCase

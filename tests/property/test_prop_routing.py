@@ -1,0 +1,121 @@
+"""Property-based tests of end-to-end link-matching delivery.
+
+Hypothesis builds random tree-plus-chords broker topologies, random client
+placements, random subscription sets and random events, then checks the
+delivery-equivalence invariant (exact match set, one copy per link, no
+broker visited twice).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ContentRoutedNetwork
+from repro.matching import EqualityTest, Event, Predicate, uniform_schema
+from repro.network import NodeKind, Topology
+
+SCHEMA = uniform_schema(3)
+DOMAIN = [0, 1]
+DOMAINS = {name: DOMAIN for name in SCHEMA.names}
+
+
+@st.composite
+def topologies(draw):
+    """A connected broker graph: random tree + up to 2 extra chord links."""
+    num_brokers = draw(st.integers(min_value=1, max_value=6))
+    topology = Topology()
+    names = [f"B{i}" for i in range(num_brokers)]
+    for i, name in enumerate(names):
+        topology.add_broker(name)
+        if i > 0:
+            parent = names[draw(st.integers(min_value=0, max_value=i - 1))]
+            latency = draw(st.sampled_from([5.0, 10.0, 25.0]))
+            topology.add_link(parent, name, latency_ms=latency)
+    # Chords make the graph cyclic, exercising virtual links.
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        a = draw(st.sampled_from(names))
+        b = draw(st.sampled_from(names))
+        if a != b:
+            try:
+                topology.add_link(a, b, latency_ms=draw(st.sampled_from([5.0, 40.0])))
+            except Exception:
+                pass  # duplicate link; skip
+    num_subscribers = draw(st.integers(min_value=1, max_value=5))
+    for i in range(num_subscribers):
+        home = draw(st.sampled_from(names))
+        topology.add_client(f"c{i}", home)
+    num_publishers = draw(st.integers(min_value=1, max_value=2))
+    for i in range(num_publishers):
+        home = draw(st.sampled_from(names))
+        topology.add_client(f"P{i}", home, kind=NodeKind.PUBLISHER)
+    return topology
+
+
+predicate_specs = st.tuples(
+    *(st.one_of(st.none(), st.sampled_from(DOMAIN)) for _ in range(3))
+)
+events = st.tuples(*(st.sampled_from(DOMAIN) for _ in range(3)))
+
+
+def add_subscriptions(network, specs_by_client):
+    for client, specs in specs_by_client:
+        tests = {
+            name: EqualityTest(value)
+            for name, value in zip(SCHEMA.names, specs)
+            if value is not None
+        }
+        network.subscribe(client, Predicate(SCHEMA, tests))
+
+
+class TestRandomNetworks:
+    @given(
+        topology=topologies(),
+        subscription_data=st.lists(predicate_specs, min_size=0, max_size=10),
+        event_values=events,
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_delivery_equivalence(self, topology, subscription_data, event_values, data):
+        network = ContentRoutedNetwork(topology, SCHEMA, domains=DOMAINS)
+        subscribers = topology.subscribers()
+        specs_by_client = [
+            (data.draw(st.sampled_from(subscribers)), specs)
+            for specs in subscription_data
+        ]
+        add_subscriptions(network, specs_by_client)
+        event = Event.from_tuple(SCHEMA, event_values)
+        expected = network.expected_recipients(event)
+        for publisher in topology.publishers():
+            trace = network.publish(publisher, event)
+            assert trace.delivered_clients == expected
+            assert len(trace.links_used) == len(set(trace.links_used))
+            targets = [target for _source, target in trace.links_used]
+            assert len(targets) == len(set(targets))  # nobody reached twice
+
+    @given(
+        topology=topologies(),
+        subscription_data=st.lists(predicate_specs, min_size=0, max_size=8),
+        event_values=events,
+        data=st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_factored_routing_agrees_with_plain(
+        self, topology, subscription_data, event_values, data
+    ):
+        plain = ContentRoutedNetwork(topology, SCHEMA, domains=DOMAINS)
+        factored = ContentRoutedNetwork(
+            topology, SCHEMA, domains=DOMAINS, factoring_attributes=["a1"]
+        )
+        subscribers = topology.subscribers()
+        specs_by_client = [
+            (data.draw(st.sampled_from(subscribers)), specs)
+            for specs in subscription_data
+        ]
+        add_subscriptions(plain, specs_by_client)
+        add_subscriptions(factored, specs_by_client)
+        event = Event.from_tuple(SCHEMA, event_values)
+        for publisher in topology.publishers():
+            assert (
+                plain.publish(publisher, event).delivered_clients
+                == factored.publish(publisher, event).delivered_clients
+            )

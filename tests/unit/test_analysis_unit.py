@@ -1,0 +1,104 @@
+"""Unit tests for the analytical matching-cost model's components."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import MatchingCostModel
+from repro.workload import WorkloadSpec
+
+UNIFORM = WorkloadSpec(
+    num_attributes=4,
+    values_per_attribute=4,
+    factoring_levels=0,
+    zipf_exponent=0.0,
+    locality_regions=1,
+    first_non_star_probability=0.5,
+    non_star_decay=1.0,  # flat: every attribute constrained w.p. 0.5
+)
+
+
+class TestComponents:
+    def test_uniform_match_probability(self):
+        model = MatchingCostModel(UNIFORM, 10)
+        assert model.match_probability_per_position == pytest.approx(0.25)
+
+    def test_zipf_match_probability_exceeds_uniform(self):
+        zipf = WorkloadSpec(
+            num_attributes=4, values_per_attribute=4, factoring_levels=0,
+            zipf_exponent=1.0, locality_regions=1,
+        )
+        model = MatchingCostModel(zipf, 10)
+        assert model.match_probability_per_position > 0.25
+
+    def test_pattern_probability_all_star(self):
+        model = MatchingCostModel(UNIFORM, 10)
+        # P(prefix of length 2 entirely unconstrained) = 0.5 * 0.5.
+        assert model.pattern_probability((False, False)) == pytest.approx(0.25)
+
+    def test_pattern_probability_constrained(self):
+        model = MatchingCostModel(UNIFORM, 10)
+        # Constrained-and-compatible: p * m = 0.5 * 0.25 per position.
+        assert model.pattern_probability((True,)) == pytest.approx(0.125)
+        assert model.pattern_probability((True, False)) == pytest.approx(0.125 * 0.5)
+
+    def test_pattern_probabilities_cover_compatibility_mass(self):
+        model = MatchingCostModel(UNIFORM, 10)
+        # Summing P over all 2^j patterns gives P(prefix compatible with the
+        # event) = prod(1 - p_k (1 - m)).
+        import itertools
+
+        total = sum(
+            model.pattern_probability(pattern)
+            for pattern in itertools.product((False, True), repeat=3)
+        )
+        expected = (1 - 0.5 * (1 - 0.25)) ** 3
+        assert total == pytest.approx(expected)
+
+    def test_visited_prefixes_bounded_by_pattern_count(self):
+        model = MatchingCostModel(UNIFORM, 10**9)  # effectively infinite S
+        for level in range(1, 5):
+            visited = model.expected_visited_prefixes(level)
+            assert visited <= 2**level + 1e-9
+
+    def test_visited_prefixes_monotone_in_subscriptions(self):
+        small = MatchingCostModel(UNIFORM, 10)
+        large = MatchingCostModel(UNIFORM, 1000)
+        for level in range(1, 5):
+            assert large.expected_visited_prefixes(level) >= (
+                small.expected_visited_prefixes(level)
+            )
+
+    def test_expected_matches_linear_in_subscriptions(self):
+        small = MatchingCostModel(UNIFORM, 100)
+        large = MatchingCostModel(UNIFORM, 200)
+        assert large.expected_matches() == pytest.approx(2 * small.expected_matches())
+
+    def test_selectivity_independent_of_count(self):
+        a = MatchingCostModel(UNIFORM, 100).expected_selectivity()
+        b = MatchingCostModel(UNIFORM, 10000).expected_selectivity()
+        assert a == pytest.approx(b)
+
+
+class TestWorkloadRedundancy:
+    def test_selective_workload_has_little_redundancy(self):
+        from repro.analysis import measure_workload_redundancy
+        from repro.workload import CHART1_SPEC
+
+        redundancy = measure_workload_redundancy(CHART1_SPEC, 300, subscribers=5)
+        assert redundancy < 0.25
+
+    def test_loose_workload_is_mostly_redundant(self):
+        from repro.analysis import measure_workload_redundancy
+
+        loose = WorkloadSpec(
+            num_attributes=4, values_per_attribute=2, factoring_levels=0,
+            first_non_star_probability=0.5, non_star_decay=1.0, locality_regions=1,
+        )
+        assert measure_workload_redundancy(loose, 300, subscribers=3) > 0.5
+
+    def test_empty_workload(self):
+        from repro.analysis import measure_workload_redundancy
+        from repro.workload import CHART1_SPEC
+
+        assert measure_workload_redundancy(CHART1_SPEC, 0) == 0.0

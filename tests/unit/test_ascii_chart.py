@@ -1,0 +1,83 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentTable
+from repro.experiments.ascii_chart import (
+    Series,
+    chart1_series,
+    chart2_series,
+    chart3_series,
+    render_chart,
+)
+
+
+class TestRender:
+    def test_basic_render_contains_axes_and_legend(self):
+        text = render_chart(
+            "Demo",
+            [Series("up", [(0, 0), (10, 10)]), Series("down", [(0, 10), (10, 0)])],
+            width=20,
+            height=8,
+        )
+        assert "Demo" in text
+        assert "legend: * up   o down" in text
+        assert "+" + "-" * 20 in text
+
+    def test_glyphs_plotted(self):
+        text = render_chart("T", [Series("s", [(0, 0), (5, 5)])], width=12, height=6)
+        assert "*" in text
+
+    def test_empty_series(self):
+        assert "(no data)" in render_chart("T", [Series("s", [])])
+
+    def test_log_scale_requires_positive(self):
+        with pytest.raises(ValueError):
+            render_chart("T", [Series("s", [(0, 0), (1, 10)])], y_log=True)
+
+    def test_log_scale_ticks(self):
+        text = render_chart(
+            "T", [Series("s", [(1, 10), (2, 10000)])], y_log=True, height=6
+        )
+        assert "1e+04" in text or "10000" in text
+
+    def test_single_point(self):
+        text = render_chart("T", [Series("s", [(3, 7)])], width=10, height=4)
+        assert "*" in text
+
+    def test_x_label_rendered(self):
+        text = render_chart(
+            "T", [Series("s", [(0, 1), (9, 2)])], x_label="subscriptions"
+        )
+        assert "subscriptions" in text
+
+
+class TestSeriesBuilders:
+    def test_chart1_series(self):
+        table = ExperimentTable("c1", ["subscriptions", "protocol", "rate", "probes"])
+        table.add_row(100, "flooding", 5000.0, 8)
+        table.add_row(100, "link-matching", 20000.0, 9)
+        table.add_row(200, "flooding", 5100.0, 8)
+        series = chart1_series(table)
+        names = [s.name for s in series]
+        assert names == ["flooding", "link-matching"]
+        assert series[0].points == [(100.0, 5000.0), (200.0, 5100.0)]
+
+    def test_chart2_series_skips_blanks(self):
+        table = ExperimentTable("c2", ["subscriptions", "lm_1_hop", "centralized"])
+        table.add_row(100, "", 12.0)
+        table.add_row(200, 5.0, 14.0)
+        series = {s.name: s for s in chart2_series(table)}
+        assert series["lm_1_hop"].points == [(200.0, 5.0)]
+        assert len(series["centralized"].points) == 2
+
+    def test_chart3_series(self):
+        table = ExperimentTable(
+            "c3",
+            ["subscriptions", "avg_match_ms", "avg_matches", "avg_steps", "growth_vs_prev"],
+        )
+        table.add_row(100, 0.5, 1.0, 10, 1.0)
+        (series,) = chart3_series(table)
+        assert series.points == [(100.0, 0.5)]

@@ -1,0 +1,93 @@
+"""Unit tests for the bursty (ON/OFF) publisher's arrival structure."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.matching import Event, uniform_schema
+from repro.protocols import LinkMatchingProtocol, ProtocolContext
+from repro.sim import NetworkSimulation, ticks_to_seconds
+from repro.network import linear_chain
+
+SCHEMA = uniform_schema(2)
+
+
+def run_publisher(kind: str, rate: float, num_events: int, seed: int = 3, **kwargs):
+    """Run a single publisher to completion; returns publish timestamps (s)."""
+    topology = linear_chain(2, subscribers_per_broker=1)
+    context = ProtocolContext(topology, SCHEMA, [])
+    simulation = NetworkSimulation(topology, LinkMatchingProtocol(context), seed=seed)
+    timestamps = []
+
+    original_publish = simulation.publish
+
+    def recording_publish(publisher, event):
+        timestamps.append(ticks_to_seconds(simulation.simulator.now))
+        original_publish(publisher, event)
+
+    simulation.publish = recording_publish  # type: ignore[method-assign]
+    factory = lambda rng: Event.from_tuple(SCHEMA, (rng.randrange(3), 0))
+    if kind == "poisson":
+        simulation.add_poisson_publisher("P1", rate, factory, num_events)
+    else:
+        simulation.add_bursty_publisher("P1", rate, factory, num_events, **kwargs)
+    simulation.run()
+    return timestamps
+
+
+def burstiness_index(timestamps, window_s: float) -> float:
+    """Variance-to-mean ratio of per-window event counts (1 = Poisson)."""
+    if not timestamps:
+        return 0.0
+    horizon = max(timestamps) + window_s
+    counts = {}
+    for t in timestamps:
+        counts[int(t / window_s)] = counts.get(int(t / window_s), 0) + 1
+    buckets = int(horizon / window_s) + 1
+    values = [counts.get(i, 0) for i in range(buckets)]
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return variance / mean
+
+
+class TestBurstyStructure:
+    def test_publishes_exact_budget(self):
+        timestamps = run_publisher("bursty", 500.0, 120, burstiness=5.0)
+        assert len(timestamps) == 120
+
+    def test_more_bursty_than_poisson(self):
+        poisson = run_publisher("poisson", 1000.0, 600)
+        bursty = run_publisher("bursty", 1000.0, 600, burstiness=10.0, on_mean_s=0.05)
+        window = 0.02
+        assert burstiness_index(bursty, window) > 2.0 * burstiness_index(
+            poisson, window
+        )
+
+    def test_mean_rate_approximately_preserved(self):
+        # Short ON periods give many ON/OFF cycles, which shrinks the bias
+        # from starting and ending mid-burst (a run never pays the final
+        # OFF period).
+        rate = 1000.0
+        timestamps = run_publisher(
+            "bursty", rate, 1500, burstiness=5.0, on_mean_s=0.01
+        )
+        elapsed = max(timestamps) - min(timestamps)
+        realized = (len(timestamps) - 1) / elapsed
+        assert realized == pytest.approx(rate, rel=0.35)
+
+    def test_burstiness_one_rejected_below(self):
+        topology = linear_chain(2, subscribers_per_broker=0)
+        context = ProtocolContext(topology, SCHEMA, [])
+        simulation = NetworkSimulation(topology, LinkMatchingProtocol(context))
+        factory = lambda rng: Event.from_tuple(SCHEMA, (0, 0))
+        with pytest.raises(SimulationError):
+            simulation.add_bursty_publisher("P1", 10.0, factory, 5, burstiness=0.9)
+        with pytest.raises(SimulationError):
+            simulation.add_bursty_publisher(
+                "P1", 10.0, factory, 5, burstiness=2.0, on_mean_s=0.0
+            )

@@ -1,0 +1,110 @@
+"""Unit tests for the binary event codec and byte primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker import ByteReader, ByteWriter, decode_event, encode_event
+from repro.errors import CodecError
+from repro.matching import Event, EventSchema
+
+
+class TestBytePrimitives:
+    def test_integer_roundtrips(self):
+        writer = ByteWriter().u8(255).u16(65535).u32(4_000_000_000).u64(2**63)
+        writer.i64(-42)
+        reader = ByteReader(writer.getvalue())
+        assert reader.u8() == 255
+        assert reader.u16() == 65535
+        assert reader.u32() == 4_000_000_000
+        assert reader.u64() == 2**63
+        assert reader.i64() == -42
+        assert reader.exhausted
+
+    def test_float_roundtrip(self):
+        data = ByteWriter().f64(119.25).getvalue()
+        assert ByteReader(data).f64() == 119.25
+
+    def test_boolean_roundtrip(self):
+        data = ByteWriter().boolean(True).boolean(False).getvalue()
+        reader = ByteReader(data)
+        assert reader.boolean() is True
+        assert reader.boolean() is False
+
+    def test_string_roundtrip(self):
+        data = ByteWriter().string("héllo wörld").getvalue()
+        assert ByteReader(data).string() == "héllo wörld"
+
+    def test_empty_string(self):
+        data = ByteWriter().string("").getvalue()
+        assert ByteReader(data).string() == ""
+
+    def test_oversized_string_rejected(self):
+        with pytest.raises(CodecError):
+            ByteWriter().string("x" * 70_000)
+
+    def test_truncated_read(self):
+        reader = ByteReader(b"\x00")
+        with pytest.raises(CodecError):
+            reader.u32()
+
+    def test_truncated_string(self):
+        data = ByteWriter().u16(10).getvalue() + b"abc"
+        with pytest.raises(CodecError):
+            ByteReader(data).string()
+
+    def test_invalid_utf8(self):
+        data = ByteWriter().u16(2).getvalue() + b"\xff\xfe"
+        with pytest.raises(CodecError):
+            ByteReader(data).string()
+
+    def test_expect_exhausted(self):
+        reader = ByteReader(b"\x01\x02")
+        reader.u8()
+        with pytest.raises(CodecError):
+            reader.expect_exhausted()
+
+
+class TestEventCodec:
+    def test_stock_event_roundtrip(self, stock_schema, ibm_event):
+        data = encode_event(ibm_event)
+        decoded = decode_event(stock_schema, data)
+        assert decoded == ibm_event
+
+    def test_publisher_passthrough(self, stock_schema, ibm_event):
+        decoded = decode_event(stock_schema, encode_event(ibm_event), publisher="P1")
+        assert decoded.publisher == "P1"
+
+    def test_all_types_roundtrip(self):
+        schema = EventSchema(
+            [("s", "string"), ("i", "integer"), ("f", "float"), ("d", "dollar"), ("b", "boolean")]
+        )
+        event = Event(schema, {"s": "x", "i": -7, "f": 2.5, "d": 0.01, "b": True})
+        assert decode_event(schema, encode_event(event)) == event
+
+    def test_integer_event_roundtrip(self, schema5):
+        event = Event.from_tuple(schema5, (0, 1, 2, 3, 4))
+        assert decode_event(schema5, encode_event(event)) == event
+
+    def test_negative_and_large_integers(self, schema5):
+        event = Event.from_tuple(schema5, (-(2**62), 2**62, 0, -1, 1))
+        assert decode_event(schema5, encode_event(event)).as_tuple() == event.as_tuple()
+
+    def test_wrong_schema_rejected(self, stock_schema, schema5):
+        event = Event.from_tuple(schema5, (1, 2, 3, 4, 5))
+        data = encode_event(event)
+        with pytest.raises(CodecError):
+            decode_event(stock_schema, data)
+
+    def test_trailing_bytes_rejected(self, schema5):
+        event = Event.from_tuple(schema5, (1, 2, 3, 4, 5))
+        with pytest.raises(CodecError):
+            decode_event(schema5, encode_event(event) + b"\x00")
+
+    def test_truncated_event_rejected(self, schema5):
+        event = Event.from_tuple(schema5, (1, 2, 3, 4, 5))
+        with pytest.raises(CodecError):
+            decode_event(schema5, encode_event(event)[:-1])
+
+    def test_encoding_is_deterministic(self, ibm_event):
+        assert encode_event(ibm_event) == encode_event(ibm_event)

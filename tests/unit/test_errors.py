@@ -1,0 +1,36 @@
+"""Unit tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_every_library_error_is_a_repro_error(self):
+        for name in dir(errors):
+            item = getattr(errors, name)
+            if isinstance(item, type) and issubclass(item, Exception) and item is not errors.ReproError:
+                assert issubclass(item, errors.ReproError), name
+
+    def test_subsystem_families(self):
+        assert issubclass(errors.ParseError, errors.PredicateError)
+        assert issubclass(errors.CodecError, errors.ProtocolError)
+        assert issubclass(errors.ConnectionClosedError, errors.TransportError)
+
+    def test_parse_error_carries_position(self):
+        error = errors.ParseError("bad", position=7)
+        assert error.position == 7
+        assert errors.ParseError("bad").position == -1
+
+    def test_catching_the_base_class_works_end_to_end(self):
+        from repro.matching import parse_predicate, stock_trade_schema
+
+        with pytest.raises(errors.ReproError):
+            parse_predicate(stock_trade_schema(), "not ] a predicate")
+
+    def test_request_failed_is_protocol_error(self):
+        from repro.broker import RequestFailed
+
+        assert issubclass(RequestFailed, errors.ProtocolError)

@@ -1,0 +1,90 @@
+"""Unit tests for the per-client event log (reliable redelivery + GC)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker import EventLog
+from repro.errors import ProtocolError
+
+
+class TestSequencing:
+    def test_appends_assign_increasing_seqs(self):
+        log = EventLog("alice")
+        assert log.append(b"a") == 1
+        assert log.append(b"b") == 2
+        assert log.last_seq == 2
+
+    def test_entries_after(self):
+        log = EventLog("alice")
+        for payload in (b"a", b"b", b"c"):
+            log.append(payload)
+        assert log.entries_after(0) == [(1, b"a"), (2, b"b"), (3, b"c")]
+        assert log.entries_after(2) == [(3, b"c")]
+        assert log.entries_after(3) == []
+
+
+class TestAcksAndGC:
+    def test_ack_advances_watermark(self):
+        log = EventLog("alice")
+        log.append(b"a")
+        log.append(b"b")
+        log.ack(1)
+        assert log.acked == 1
+
+    def test_ack_is_monotonic(self):
+        log = EventLog("alice")
+        log.append(b"a")
+        log.append(b"b")
+        log.ack(2)
+        log.ack(1)  # late/duplicate ack must not regress
+        assert log.acked == 2
+
+    def test_ack_beyond_sent_rejected(self):
+        log = EventLog("alice")
+        log.append(b"a")
+        with pytest.raises(ProtocolError):
+            log.ack(5)
+
+    def test_collect_drops_only_acked(self):
+        log = EventLog("alice")
+        for payload in (b"a", b"b", b"c"):
+            log.append(payload)
+        log.ack(2)
+        dropped = log.collect()
+        assert dropped == 2
+        assert len(log) == 1
+        assert log.entries_after(0) == [(3, b"c")]
+
+    def test_collect_is_idempotent(self):
+        log = EventLog("alice")
+        log.append(b"a")
+        log.ack(1)
+        assert log.collect() == 1
+        assert log.collect() == 0
+
+    def test_collect_never_drops_unacked(self):
+        log = EventLog("alice")
+        for i in range(10):
+            log.append(bytes([i]))
+        log.collect()
+        assert len(log) == 10
+
+    def test_sequence_numbers_survive_collection(self):
+        log = EventLog("alice")
+        log.append(b"a")
+        log.ack(1)
+        log.collect()
+        assert log.append(b"b") == 2  # numbering continues, never reused
+
+
+class TestReconnectScenario:
+    def test_backlog_replay_after_crash(self):
+        log = EventLog("alice")
+        # Client processed 1-2, then crashed; 3-5 arrive while offline.
+        for payload in (b"1", b"2", b"3", b"4", b"5"):
+            log.append(payload)
+        log.ack(2)
+        log.collect()
+        backlog = log.entries_after(2)
+        assert [seq for seq, _data in backlog] == [3, 4, 5]

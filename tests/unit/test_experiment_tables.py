@@ -1,0 +1,44 @@
+"""Unit tests for the experiment table container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentTable
+
+
+class TestExperimentTable:
+    def test_add_row_and_column(self):
+        table = ExperimentTable("T", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("a") == [1, 3]
+        assert table.column("b") == [2, 4]
+
+    def test_wrong_arity_rejected(self):
+        table = ExperimentTable("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_unknown_column(self):
+        table = ExperimentTable("T", ["a"])
+        with pytest.raises(ValueError):
+            table.column("z")
+
+    def test_format_contains_everything(self):
+        table = ExperimentTable("Saturation", ["subs", "rate"])
+        table.add_row(1000, 5417.3)
+        text = table.format()
+        assert "Saturation" in text
+        assert "subs" in text and "rate" in text
+        assert "1000" in text and "5417.30" in text
+
+    def test_format_empty_table(self):
+        table = ExperimentTable("Empty", ["x"])
+        text = table.format()
+        assert "Empty" in text and "x" in text
+
+    def test_floats_formatted_to_two_places(self):
+        table = ExperimentTable("T", ["v"])
+        table.add_row(1.23456)
+        assert "1.23" in table.format()

@@ -1,0 +1,125 @@
+"""Unit tests for the content-routed network fabric and delivery traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ContentRoutedNetwork
+from repro.errors import RoutingError, TopologyError
+from repro.matching import Event, Predicate, uniform_schema
+from repro.network import NodeKind, Topology, linear_chain
+
+SCHEMA = uniform_schema(2)
+
+
+@pytest.fixture
+def network():
+    return ContentRoutedNetwork(linear_chain(3, subscribers_per_broker=1), SCHEMA)
+
+
+class TestConstruction:
+    def test_requires_publishers(self):
+        topology = Topology()
+        topology.add_broker("B0")
+        topology.add_client("c0", "B0")
+        with pytest.raises(TopologyError):
+            ContentRoutedNetwork(topology, SCHEMA)
+
+    def test_one_router_per_broker(self, network):
+        assert set(network.routers) == {"B0", "B1", "B2"}
+
+    def test_spanning_trees_for_publisher_brokers_only(self, network):
+        assert set(network.spanning_trees) == {"B0"}
+
+
+class TestSubscribeApi:
+    def test_subscribe_by_expression(self, network):
+        subscription = network.subscribe("S.B1.00", "a1=1")
+        assert subscription.subscriber == "S.B1.00"
+        assert len(network.subscriptions) == 1
+
+    def test_subscribe_by_predicate(self, network):
+        predicate = Predicate.from_values(SCHEMA, a1=1)
+        network.subscribe("S.B1.00", predicate)
+        assert len(network.subscriptions) == 1
+
+    def test_brokers_cannot_subscribe(self, network):
+        with pytest.raises(RoutingError):
+            network.subscribe("B1", "a1=1")
+
+    def test_replicated_to_every_router(self, network):
+        network.subscribe("S.B1.00", "a1=1")
+        assert all(
+            router.subscription_count == 1 for router in network.routers.values()
+        )
+
+    def test_unsubscribe_unknown(self, network):
+        with pytest.raises(RoutingError):
+            network.unsubscribe(123456789)
+
+    def test_unsubscribe_removes_everywhere(self, network):
+        subscription = network.subscribe("S.B1.00", "a1=1")
+        network.unsubscribe(subscription.subscription_id)
+        assert all(
+            router.subscription_count == 0 for router in network.routers.values()
+        )
+
+
+class TestPublishApi:
+    def test_publish_accepts_mapping(self, network):
+        network.subscribe("S.B2.00", "a1=1")
+        trace = network.publish("P1", {"a1": 1, "a2": 0})
+        assert trace.delivered_clients == {"S.B2.00"}
+
+    def test_only_publishers_publish(self, network):
+        with pytest.raises(RoutingError):
+            network.publish("S.B0.00", {"a1": 1, "a2": 0})
+
+    def test_expected_recipients(self, network):
+        network.subscribe("S.B0.00", "a1=1")
+        network.subscribe("S.B2.00", "a2=1")
+        assert network.expected_recipients({"a1": 1, "a2": 1}) == {
+            "S.B0.00",
+            "S.B2.00",
+        }
+        assert network.expected_recipients({"a1": 0, "a2": 0}) == set()
+
+    def test_centralized_match(self, network):
+        network.subscribe("S.B2.00", "a1=1")
+        result = network.centralized_match("P1", {"a1": 1, "a2": 0})
+        assert {s.subscriber for s in result.subscriptions} == {"S.B2.00"}
+        assert result.steps >= 1
+
+
+class TestDeliveryTrace:
+    def test_hop_counting(self, network):
+        network.subscribe("S.B0.00", "*")
+        network.subscribe("S.B2.00", "*")
+        trace = network.publish("P1", {"a1": 0, "a2": 0})
+        assert trace.deliveries == {"S.B0.00": 1, "S.B2.00": 3}
+
+    def test_total_steps_sums_brokers(self, network):
+        network.subscribe("S.B2.00", "*")
+        trace = network.publish("P1", {"a1": 0, "a2": 0})
+        assert trace.total_steps == sum(trace.broker_steps.values())
+
+    def test_cumulative_steps_for_unknown_client(self, network):
+        trace = network.publish("P1", {"a1": 0, "a2": 0})
+        with pytest.raises(RoutingError):
+            trace.cumulative_steps_to("S.B2.00")
+
+    def test_cumulative_steps_along_path(self, network):
+        network.subscribe("S.B2.00", "*")
+        trace = network.publish("P1", {"a1": 0, "a2": 0})
+        expected = (
+            trace.broker_steps["B0"]
+            + trace.broker_steps["B1"]
+            + trace.broker_steps["B2"]
+        )
+        assert trace.cumulative_steps_to("S.B2.00") == expected
+
+    def test_decisions_recorded_per_broker(self, network):
+        network.subscribe("S.B2.00", "*")
+        trace = network.publish("P1", {"a1": 0, "a2": 0})
+        assert set(trace.decisions) == {"B0", "B1", "B2"}
+        assert trace.decisions["B2"].deliver_to == ["S.B2.00"]

@@ -1,0 +1,116 @@
+"""Unit tests for the canned topologies, especially Figure 6."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network import (
+    CLIENT_MS,
+    INTERCONTINENTAL_MS,
+    MID_TO_LEAF_MS,
+    ROOT_TO_MID_MS,
+    NodeKind,
+    binary_tree,
+    figure6_topology,
+    linear_chain,
+    star,
+)
+
+
+class TestFigure6:
+    def test_39_brokers(self):
+        topology = figure6_topology()
+        assert len(topology.brokers()) == 39
+
+    def test_ten_subscribers_per_broker(self):
+        topology = figure6_topology()
+        assert len(topology.subscribers()) == 390
+        for broker in topology.brokers():
+            subscribers = [
+                c
+                for c in topology.clients_of(broker)
+                if topology.node(c).kind is NodeKind.SUBSCRIBER
+            ]
+            assert len(subscribers) == 10
+
+    def test_three_publishers_in_distinct_trees(self):
+        topology = figure6_topology()
+        assert topology.publishers() == ["P1", "P2", "P3"]
+        trees = {topology.broker_of(p).split(".")[0] for p in topology.publishers()}
+        assert trees == {"T0", "T1", "T2"}
+
+    def test_hop_delays_match_paper(self):
+        topology = figure6_topology(subscribers_per_broker=1)
+        assert topology.link_between("T0.R", "T1.R").latency_ms == INTERCONTINENTAL_MS
+        assert topology.link_between("T0.R", "T0.M0").latency_ms == ROOT_TO_MID_MS
+        assert topology.link_between("T0.M0", "T0.L00").latency_ms == MID_TO_LEAF_MS
+        assert topology.link_between("T0.L00", "S.T0.L00.00").latency_ms == CLIENT_MS
+
+    def test_roots_fully_connected(self):
+        topology = figure6_topology(subscribers_per_broker=0)
+        for a in range(3):
+            for b in range(a + 1, 3):
+                topology.link_between(f"T{a}.R", f"T{b}.R")
+
+    def test_each_tree_has_13_brokers(self):
+        topology = figure6_topology(subscribers_per_broker=0)
+        for tree in range(3):
+            members = [b for b in topology.brokers() if b.startswith(f"T{tree}.")]
+            assert len(members) == 13
+
+    def test_default_lateral_links_exist(self):
+        topology = figure6_topology(subscribers_per_broker=0)
+        topology.link_between("T0.M1", "T1.M1")
+        topology.link_between("T1.M2", "T2.M0")
+
+    def test_lateral_links_configurable(self):
+        topology = figure6_topology(subscribers_per_broker=0, lateral_links=())
+        with pytest.raises(TopologyError):
+            topology.link_between("T0.M1", "T1.M1")
+
+    def test_custom_publisher_brokers(self):
+        topology = figure6_topology(
+            subscribers_per_broker=0, publisher_brokers=["T0.R", "T1.R", "T2.R"]
+        )
+        assert topology.broker_of("P1") == "T0.R"
+
+    def test_negative_subscribers_rejected(self):
+        with pytest.raises(TopologyError):
+            figure6_topology(subscribers_per_broker=-1)
+
+
+class TestSmallTopologies:
+    def test_linear_chain_shape(self):
+        topology = linear_chain(4, subscribers_per_broker=2)
+        assert topology.brokers() == ["B0", "B1", "B2", "B3"]
+        assert topology.broker_neighbors("B1") == ["B0", "B2"]
+        assert len(topology.subscribers()) == 8
+
+    def test_linear_chain_publisher_position(self):
+        topology = linear_chain(3, publisher_broker_index=2)
+        assert topology.broker_of("P1") == "B2"
+
+    def test_linear_chain_needs_a_broker(self):
+        with pytest.raises(TopologyError):
+            linear_chain(0)
+
+    def test_star_shape(self):
+        topology = star(4, subscribers_per_broker=1)
+        assert topology.broker_neighbors("HUB") == ["E0", "E1", "E2", "E3"]
+        assert topology.broker_of("P1") == "HUB"
+
+    def test_binary_tree_shape(self):
+        topology = binary_tree(2, subscribers_per_leaf=1)
+        assert len(topology.brokers()) == 7
+        assert topology.broker_of("P1") == "N0.0"
+        assert len(topology.subscribers()) == 4
+
+    def test_all_canned_topologies_validate(self):
+        for topology in (
+            figure6_topology(subscribers_per_broker=1),
+            linear_chain(3),
+            star(3),
+            binary_tree(2),
+        ):
+            topology.validate()

@@ -1,0 +1,79 @@
+"""Unit tests for the wire-message codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker import decode_message, encode_message
+from repro.broker import messages as wire
+from repro.errors import CodecError
+
+ROUNDTRIP_CASES = [
+    wire.Connect("alice", 0),
+    wire.Connect("bob", 2**40),
+    wire.ConnAck("B0", 17),
+    wire.Subscribe(1, "issue='IBM' & price<120"),
+    wire.SubAck(1, 1_000_001),
+    wire.Unsubscribe(2, 1_000_001),
+    wire.UnsubAck(2, 1_000_001),
+    wire.Publish(b"\x00\x01payload"),
+    wire.EventDelivery(99, b"event-bytes"),
+    wire.Ack(99),
+    wire.Disconnect(),
+    wire.BrokerHello("T0.M1"),
+    wire.BrokerEvent("T0.L00", "P1", b"\xffdata"),
+    wire.SubPropagate(5, "S.T0.L00.01", "a1=1 & a2=*", "T0.L00"),
+    wire.UnsubPropagate(5, "T0.L00"),
+    wire.ErrorReply(3, "unknown attribute 'nope'"),
+]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("message", ROUNDTRIP_CASES, ids=lambda m: type(m).__name__)
+    def test_roundtrip(self, message):
+        assert decode_message(encode_message(message)) == message
+
+    def test_empty_payload_blob(self):
+        assert decode_message(encode_message(wire.Publish(b""))) == wire.Publish(b"")
+
+    def test_unicode_expression(self):
+        message = wire.Subscribe(1, "issue='Müller'")
+        assert decode_message(encode_message(message)) == message
+
+
+class TestErrors:
+    def test_unknown_type_byte(self):
+        with pytest.raises(CodecError):
+            decode_message(b"\xf0")
+
+    def test_truncated_payload(self):
+        data = encode_message(wire.Connect("alice", 3))
+        with pytest.raises(CodecError):
+            decode_message(data[:-2])
+
+    def test_trailing_bytes(self):
+        data = encode_message(wire.Ack(1))
+        with pytest.raises(CodecError):
+            decode_message(data + b"\x00")
+
+    def test_non_message_rejected(self):
+        with pytest.raises(CodecError):
+            encode_message("not a message")  # type: ignore[arg-type]
+
+    def test_empty_input(self):
+        with pytest.raises(CodecError):
+            decode_message(b"")
+
+
+class TestFraming:
+    def test_type_byte_is_first(self):
+        data = encode_message(wire.Ack(1))
+        assert data[0] == int(wire.MessageType.ACK)
+
+    def test_distinct_types_have_distinct_bytes(self):
+        seen = set()
+        for message in ROUNDTRIP_CASES:
+            byte = encode_message(message)[0]
+            seen.add((type(message), byte))
+        type_bytes = [b for _t, b in seen]
+        assert len(type_bytes) == len(set(type_bytes))

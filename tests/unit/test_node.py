@@ -1,0 +1,277 @@
+"""Unit tests for the prototype broker node and client (in-memory)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker import (
+    BrokerClient,
+    BrokerNetworkConfig,
+    BrokerNode,
+    InMemoryTransport,
+    RequestFailed,
+)
+from repro.errors import ProtocolError, RoutingError, TransportError
+from repro.matching import stock_trade_schema
+from repro.network import NodeKind, Topology
+
+
+def two_broker_network():
+    """B0 -- B1; alice@B0, bob@B1, pub@B0."""
+    schema = stock_trade_schema()
+    topology = Topology()
+    topology.add_broker("B0")
+    topology.add_broker("B1")
+    topology.add_link("B0", "B1", latency_ms=5.0)
+    topology.add_client("alice", "B0")
+    topology.add_client("bob", "B1")
+    topology.add_client("pub", "B0", kind=NodeKind.PUBLISHER)
+    config = BrokerNetworkConfig(topology, schema)
+    transport = InMemoryTransport()
+    endpoints = {name: f"mem://{name}" for name in topology.brokers()}
+    nodes = {name: BrokerNode(config, name, transport, endpoints) for name in topology.brokers()}
+    for node in nodes.values():
+        node.start()
+    for node in nodes.values():
+        node.connect_neighbors()
+    transport.pump()
+    return schema, transport, nodes
+
+
+def client(name, schema, transport, broker, **kwargs):
+    endpoint = f"mem://{broker}"
+    c = BrokerClient(name, schema, transport, endpoint, pump=transport.pump, **kwargs)
+    c.connect()
+    transport.pump()
+    return c
+
+
+class TestStartupAndConnections:
+    def test_brokers_interconnect(self):
+        _schema, _transport, nodes = two_broker_network()
+        assert nodes["B0"].connected_brokers == ["B1"]
+        assert nodes["B1"].connected_brokers == ["B0"]
+
+    def test_client_connects_to_home_broker(self):
+        schema, transport, _nodes = two_broker_network()
+        alice = client("alice", schema, transport, "B0")
+        assert alice.connected_broker == "B0"
+
+    def test_unknown_client_rejected(self):
+        schema, transport, _nodes = two_broker_network()
+        stranger = BrokerClient("stranger", schema, transport, "mem://B0", pump=transport.pump)
+        stranger.connect()
+        transport.pump()
+        assert not stranger.is_connected
+
+    def test_wrong_home_broker_rejected(self):
+        schema, transport, _nodes = two_broker_network()
+        bob = BrokerClient("bob", schema, transport, "mem://B0", pump=transport.pump)
+        bob.connect()  # bob is attached to B1 in the topology
+        transport.pump()
+        assert not bob.is_connected
+
+    def test_node_name_must_be_broker(self):
+        schema = stock_trade_schema()
+        topology = Topology()
+        topology.add_broker("B0")
+        topology.add_client("pub", "B0", kind=NodeKind.PUBLISHER)
+        config = BrokerNetworkConfig(topology, schema)
+        with pytest.raises(ProtocolError):
+            BrokerNode(config, "pub", InMemoryTransport(), {})
+
+    def test_missing_endpoint(self):
+        schema = stock_trade_schema()
+        topology = Topology()
+        topology.add_broker("B0")
+        topology.add_client("pub", "B0", kind=NodeKind.PUBLISHER)
+        config = BrokerNetworkConfig(topology, schema)
+        node = BrokerNode(config, "B0", InMemoryTransport(), {})
+        with pytest.raises(TransportError):
+            node.start()
+
+    def test_config_requires_publishers(self):
+        schema = stock_trade_schema()
+        topology = Topology()
+        topology.add_broker("B0")
+        topology.add_client("c", "B0")
+        with pytest.raises(RoutingError):
+            BrokerNetworkConfig(topology, schema)
+
+
+class TestSubscriptionPropagation:
+    def test_subscription_replicated_to_all_brokers(self):
+        schema, transport, nodes = two_broker_network()
+        alice = client("alice", schema, transport, "B0")
+        alice.subscribe_and_wait("issue='IBM'")
+        transport.pump()
+        assert nodes["B0"].subscription_count == 1
+        assert nodes["B1"].subscription_count == 1
+
+    def test_unsubscribe_replicated(self):
+        schema, transport, nodes = two_broker_network()
+        alice = client("alice", schema, transport, "B0")
+        subscription_id = alice.subscribe_and_wait("issue='IBM'")
+        transport.pump()
+        alice.unsubscribe_and_wait(subscription_id)
+        transport.pump()
+        assert nodes["B0"].subscription_count == 0
+        assert nodes["B1"].subscription_count == 0
+
+    def test_bad_expression_reported(self):
+        schema, transport, _nodes = two_broker_network()
+        alice = client("alice", schema, transport, "B0")
+        with pytest.raises(RequestFailed):
+            alice.subscribe_and_wait("nope===")
+
+    def test_cannot_remove_another_clients_subscription(self):
+        schema, transport, nodes = two_broker_network()
+        alice = client("alice", schema, transport, "B0")
+        bob = client("bob", schema, transport, "B1")
+        subscription_id = bob.subscribe_and_wait("volume>0")
+        transport.pump()
+        with pytest.raises(RequestFailed):
+            alice.unsubscribe_and_wait(subscription_id)
+        transport.pump()
+        assert nodes["B0"].subscription_count == 1
+
+
+class TestPublishAndDeliver:
+    def test_local_and_remote_delivery(self):
+        schema, transport, _nodes = two_broker_network()
+        alice = client("alice", schema, transport, "B0")
+        bob = client("bob", schema, transport, "B1")
+        pub = client("pub", schema, transport, "B0")
+        alice.subscribe_and_wait("issue='IBM'")
+        bob.subscribe_and_wait("volume>100")
+        transport.pump()
+        pub.publish({"issue": "IBM", "price": 10.0, "volume": 500})
+        transport.pump()
+        assert len(alice.received_events) == 1
+        assert len(bob.received_events) == 1
+
+    def test_event_not_delivered_to_non_matching(self):
+        schema, transport, _nodes = two_broker_network()
+        alice = client("alice", schema, transport, "B0")
+        pub = client("pub", schema, transport, "B0")
+        alice.subscribe_and_wait("issue='IBM'")
+        transport.pump()
+        pub.publish({"issue": "MSFT", "price": 10.0, "volume": 500})
+        transport.pump()
+        assert alice.received_events == []
+
+    def test_subscriber_cannot_publish_without_publisher_broker(self):
+        schema, transport, _nodes = two_broker_network()
+        bob = client("bob", schema, transport, "B1")  # B1 hosts no publisher
+        bob.publish({"issue": "IBM", "price": 1.0, "volume": 1})
+        transport.pump()
+        # No spanning tree rooted at B1: broker answers with an error, and
+        # nothing is delivered anywhere.
+        assert bob.received_events == []
+
+    def test_on_event_callback(self):
+        schema, transport, _nodes = two_broker_network()
+        seen = []
+        alice = client(
+            "alice", schema, transport, "B0", on_event=lambda e, seq: seen.append(seq)
+        )
+        pub = client("pub", schema, transport, "B0")
+        alice.subscribe_and_wait("*")
+        transport.pump()
+        pub.publish({"issue": "X", "price": 1.0, "volume": 1})
+        transport.pump()
+        assert seen == [1]
+
+    def test_sequencing_per_client(self):
+        schema, transport, _nodes = two_broker_network()
+        alice = client("alice", schema, transport, "B0")
+        pub = client("pub", schema, transport, "B0")
+        alice.subscribe_and_wait("*")
+        transport.pump()
+        for i in range(5):
+            pub.publish({"issue": "X", "price": float(i), "volume": i})
+        transport.pump()
+        assert [seq for seq, _e in alice.deliveries] == [1, 2, 3, 4, 5]
+
+
+class TestReliability:
+    def test_offline_events_logged_and_redelivered(self):
+        schema, transport, nodes = two_broker_network()
+        alice = client("alice", schema, transport, "B0")
+        pub = client("pub", schema, transport, "B0")
+        alice.subscribe_and_wait("*")
+        transport.pump()
+        pub.publish({"issue": "A", "price": 1.0, "volume": 1})
+        transport.pump()
+        alice.drop_connection()
+        transport.pump()
+        pub.publish({"issue": "B", "price": 2.0, "volume": 2})
+        pub.publish({"issue": "C", "price": 3.0, "volume": 3})
+        transport.pump()
+        assert len(alice.received_events) == 1
+        alice.connect(resume=True)
+        transport.pump()
+        issues = [e["issue"] for e in alice.received_events]
+        assert issues == ["A", "B", "C"]
+
+    def test_no_duplicates_after_reconnect(self):
+        schema, transport, _nodes = two_broker_network()
+        alice = client("alice", schema, transport, "B0")
+        pub = client("pub", schema, transport, "B0")
+        alice.subscribe_and_wait("*")
+        transport.pump()
+        pub.publish({"issue": "A", "price": 1.0, "volume": 1})
+        transport.pump()
+        alice.drop_connection()
+        transport.pump()
+        alice.connect(resume=True)
+        transport.pump()
+        assert [e["issue"] for e in alice.received_events] == ["A"]
+
+    def test_acks_drive_gc(self):
+        schema, transport, nodes = two_broker_network()
+        alice = client("alice", schema, transport, "B0")
+        pub = client("pub", schema, transport, "B0")
+        alice.subscribe_and_wait("*")
+        transport.pump()
+        pub.publish({"issue": "A", "price": 1.0, "volume": 1})
+        transport.pump()  # delivery + auto-ack
+        collected = nodes["B0"].collect_garbage()
+        assert collected == 1
+        assert len(nodes["B0"].session("alice").log) == 0
+
+    def test_graceful_disconnect_keeps_session(self):
+        schema, transport, nodes = two_broker_network()
+        alice = client("alice", schema, transport, "B0")
+        alice.subscribe_and_wait("*")
+        transport.pump()
+        alice.disconnect()
+        transport.pump()
+        assert not nodes["B0"].session("alice").is_connected
+        assert nodes["B0"].subscription_count == 1  # subscriptions persist
+
+
+class TestStatsSnapshot:
+    def test_stats_reflect_activity(self):
+        schema, transport, nodes = two_broker_network()
+        alice = client("alice", schema, transport, "B0")
+        pub = client("pub", schema, transport, "B0")
+        alice.subscribe_and_wait("*")
+        transport.pump()
+        pub.publish({"issue": "X", "price": 1.0, "volume": 1})
+        transport.pump()
+        stats = nodes["B0"].stats()
+        assert stats["broker"] == "B0"
+        assert stats["subscriptions"] == 1
+        assert stats["events_routed"] == 1
+        assert stats["events_delivered"] == 1
+        assert stats["connected_brokers"] == ["B1"]
+        assert set(stats["connected_clients"]) == {"alice", "pub"}
+        assert stats["logged_entries"] >= 0
+
+    def test_stats_on_idle_node(self):
+        _schema, _transport, nodes = two_broker_network()
+        stats = nodes["B1"].stats()
+        assert stats["subscriptions"] == 0
+        assert stats["events_routed"] == 0
+        assert stats["connected_clients"] == []

@@ -1,0 +1,204 @@
+"""Unit tests for factoring and delayed branching (Section 2.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SubscriptionError
+from repro.matching import (
+    Event,
+    FactoredMatcher,
+    ParallelSearchTree,
+    SearchDag,
+    build_pst,
+    uniform_schema,
+)
+from tests.conftest import make_subscription
+
+DOMAINS = {f"a{i}": [0, 1, 2] for i in range(1, 6)}
+
+
+def random_workload(schema, num_subscriptions, num_events, seed=0):
+    rng = random.Random(seed)
+    subscriptions = []
+    for i in range(num_subscriptions):
+        tests = [f"a{j}={rng.randrange(3)}" for j in range(1, 6) if rng.random() < 0.5]
+        subscriptions.append(
+            make_subscription(schema, " & ".join(tests) if tests else "*", f"s{i}")
+        )
+    events = [
+        Event.from_tuple(schema, tuple(rng.randrange(3) for _ in range(5)))
+        for _ in range(num_events)
+    ]
+    return subscriptions, events
+
+
+class TestFactoredMatcher:
+    def test_requires_index_attributes(self, schema5):
+        with pytest.raises(SubscriptionError):
+            FactoredMatcher(schema5, [], DOMAINS)
+
+    def test_requires_domains_for_index(self, schema5):
+        with pytest.raises(SubscriptionError):
+            FactoredMatcher(schema5, ["a1"], {"a2": [1, 2]})
+
+    def test_cannot_factor_everything(self, schema5):
+        with pytest.raises(SubscriptionError):
+            FactoredMatcher(schema5, ["a1", "a2", "a3", "a4", "a5"], DOMAINS)
+
+    def test_equality_subscription_goes_to_one_tree(self, schema5):
+        matcher = FactoredMatcher(schema5, ["a1"], DOMAINS)
+        matcher.insert(make_subscription(schema5, "a1=1 & a3=2", "alice"))
+        assert len(dict(matcher.trees())) == 1
+
+    def test_star_subscription_replicated_across_domain(self, schema5):
+        matcher = FactoredMatcher(schema5, ["a1"], DOMAINS)
+        matcher.insert(make_subscription(schema5, "a3=2", "alice"))
+        # One tree per a1 domain value, plus the out-of-domain bucket.
+        assert len(dict(matcher.trees())) == 4
+
+    def test_two_index_attributes_cross_product(self, schema5):
+        matcher = FactoredMatcher(schema5, ["a1", "a2"], DOMAINS)
+        matcher.insert(make_subscription(schema5, "a3=2", "alice"))
+        assert len(dict(matcher.trees())) == 16  # (3 values + out-of-domain)^2
+
+    def test_out_of_domain_equality_lives_in_overflow_bucket(self, schema5):
+        matcher = FactoredMatcher(schema5, ["a1"], DOMAINS)
+        matcher.insert(make_subscription(schema5, "a1=99", "alice"))
+        assert len(matcher) == 1
+        assert len(dict(matcher.trees())) == 1  # the out-of-domain bucket
+        in_domain = Event.from_tuple(schema5, (1, 0, 0, 0, 0))
+        assert matcher.match(in_domain).subscriptions == []
+        out_miss = Event.from_tuple(schema5, (7, 0, 0, 0, 0))
+        assert matcher.match(out_miss).subscriptions == []
+        out_hit = Event.from_tuple(schema5, (99, 0, 0, 0, 0))
+        assert matcher.match(out_hit).subscribers == {"alice"}
+
+    def test_match_equals_brute_force(self, schema5):
+        subscriptions, events = random_workload(schema5, 80, 150, seed=2)
+        matcher = FactoredMatcher(schema5, ["a1", "a2"], DOMAINS)
+        for subscription in subscriptions:
+            matcher.insert(subscription)
+        for event in events:
+            expected = {s.subscription_id for s in matcher.match_brute_force(event)}
+            actual = {s.subscription_id for s in matcher.match(event).subscriptions}
+            assert actual == expected
+
+    def test_match_equals_plain_tree(self, schema5):
+        subscriptions, events = random_workload(schema5, 60, 100, seed=3)
+        matcher = FactoredMatcher(schema5, ["a1"], DOMAINS)
+        tree = ParallelSearchTree(schema5)
+        for subscription in subscriptions:
+            matcher.insert(subscription)
+            tree.insert(subscription)
+        for event in events:
+            assert {s.subscription_id for s in matcher.match(event).subscriptions} == {
+                s.subscription_id for s in tree.match(event).subscriptions
+            }
+
+    def test_factoring_reduces_steps(self, schema5):
+        subscriptions, events = random_workload(schema5, 150, 100, seed=4)
+        matcher = FactoredMatcher(schema5, ["a1"], DOMAINS)
+        tree = ParallelSearchTree(schema5)
+        for subscription in subscriptions:
+            matcher.insert(subscription)
+            tree.insert(subscription)
+        factored_steps = sum(matcher.match(e).steps for e in events)
+        plain_steps = sum(tree.match(e).steps for e in events)
+        assert factored_steps < plain_steps
+
+    def test_remove(self, schema5):
+        matcher = FactoredMatcher(schema5, ["a1"], DOMAINS)
+        sub = make_subscription(schema5, "a3=2", "alice")
+        matcher.insert(sub)
+        removed = matcher.remove(sub.subscription_id)
+        assert removed.subscription_id == sub.subscription_id
+        assert len(matcher) == 0
+        assert len(dict(matcher.trees())) == 0
+
+    def test_remove_unknown(self, schema5):
+        matcher = FactoredMatcher(schema5, ["a1"], DOMAINS)
+        with pytest.raises(SubscriptionError):
+            matcher.remove(424242)
+
+    def test_duplicate_insert_rejected(self, schema5):
+        matcher = FactoredMatcher(schema5, ["a1"], DOMAINS)
+        sub = make_subscription(schema5, "a3=2", "alice")
+        matcher.insert(sub)
+        with pytest.raises(SubscriptionError):
+            matcher.insert(sub)
+
+    def test_lookup_counts_one_step(self, schema5):
+        matcher = FactoredMatcher(schema5, ["a1"], DOMAINS)
+        event = Event.from_tuple(schema5, (0, 0, 0, 0, 0))
+        assert matcher.match(event).steps == 1  # empty matcher: lookup only
+
+
+class TestSearchDag:
+    def test_rejects_range_branches(self, stock_schema):
+        tree = build_pst(
+            stock_schema, [make_subscription(stock_schema, "price<10", "a")]
+        )
+        with pytest.raises(SubscriptionError):
+            SearchDag(tree)
+
+    def test_match_equals_tree(self, schema5):
+        subscriptions, events = random_workload(schema5, 100, 200, seed=5)
+        tree = build_pst(schema5, subscriptions)
+        dag = SearchDag(tree)
+        for event in events:
+            tree_ids = {s.subscription_id for s in tree.match(event).subscriptions}
+            dag_ids = {s.subscription_id for s in dag.match(event).subscriptions}
+            assert dag_ids == tree_ids
+
+    def test_steps_bounded_by_levels(self, schema5):
+        subscriptions, events = random_workload(schema5, 100, 50, seed=6)
+        dag = SearchDag(build_pst(schema5, subscriptions))
+        for event in events:
+            assert dag.match(event).steps <= len(schema5) + 1
+
+    def test_dag_never_more_steps_than_tree(self, schema5):
+        subscriptions, events = random_workload(schema5, 100, 100, seed=7)
+        tree = build_pst(schema5, subscriptions)
+        dag = SearchDag(tree)
+        for event in events:
+            assert dag.match(event).steps <= tree.match(event).steps
+
+    def test_nodes_are_shared(self, schema5):
+        # Heavy star-overlap forces sharing: the DAG memoizes merged frontiers.
+        subscriptions = [
+            make_subscription(schema5, f"a1={v}", f"s{v}") for v in range(3)
+        ] + [make_subscription(schema5, "a5=1", "tail")]
+        tree = build_pst(schema5, subscriptions)
+        dag = SearchDag(tree)
+        event = Event.from_tuple(schema5, (0, 0, 0, 0, 1))
+        assert dag.match(event).subscribers == {"s0", "tail"}
+        # All three a1 branches merge with the same *-subtree: the DAG must
+        # be smaller than three independent copies of it.
+        assert dag.node_count() < 3 * tree.node_count()
+
+    def test_empty_tree(self, schema5):
+        dag = SearchDag(ParallelSearchTree(schema5))
+        result = dag.match(Event.from_tuple(schema5, (0, 0, 0, 0, 0)))
+        assert result.subscriptions == []
+
+    def test_works_on_optimized_tree(self, schema5):
+        subscriptions, events = random_workload(schema5, 60, 80, seed=8)
+        tree = build_pst(schema5, subscriptions)
+        tree.eliminate_trivial_tests()
+        dag = SearchDag(tree)
+        for event in events:
+            assert {s.subscription_id for s in dag.match(event).subscriptions} == {
+                s.subscription_id for s in tree.match(event).subscriptions
+            }
+
+    def test_brute_force_passthrough(self, schema5):
+        subscriptions, _ = random_workload(schema5, 10, 0, seed=9)
+        tree = build_pst(schema5, subscriptions)
+        dag = SearchDag(tree)
+        event = Event.from_tuple(schema5, (1, 1, 1, 1, 1))
+        assert {s.subscription_id for s in dag.match_brute_force(event)} == {
+            s.subscription_id for s in tree.match_brute_force(event)
+        }

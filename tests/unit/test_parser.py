@@ -1,0 +1,143 @@
+"""Unit tests for the subscription expression parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.matching import (
+    DONT_CARE,
+    EqualityTest,
+    Event,
+    IntervalTest,
+    RangeOp,
+    RangeTest,
+    parse_predicate,
+    tokenize,
+)
+from repro.matching.parser import TokenType
+
+
+class TestTokenizer:
+    def test_paper_example(self):
+        tokens = tokenize("issue=\"IBM\" & price < 120 & volume > 1000")
+        kinds = [t.type for t in tokens]
+        assert kinds == [
+            TokenType.NAME, TokenType.OPERATOR, TokenType.STRING, TokenType.AND,
+            TokenType.NAME, TokenType.OPERATOR, TokenType.NUMBER, TokenType.AND,
+            TokenType.NAME, TokenType.OPERATOR, TokenType.NUMBER, TokenType.END,
+        ]
+
+    def test_single_and_double_quotes(self):
+        assert tokenize("x='a'")[2].value == "a"
+        assert tokenize('x="a"')[2].value == "a"
+
+    def test_string_escapes(self):
+        assert tokenize(r"x='a\'b'")[2].value == "a'b"
+        assert tokenize(r"x='a\nb'")[2].value == "a\nb"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("x='abc")
+
+    def test_numbers(self):
+        assert tokenize("x=42")[2].value == 42
+        assert tokenize("x=4.5")[2].value == 4.5
+        assert tokenize("x=-3")[2].value == -3
+        assert tokenize("x=1e3")[2].value == 1000.0
+
+    def test_booleans(self):
+        assert tokenize("x=true")[2].value is True
+        assert tokenize("x=false")[2].value is False
+
+    def test_and_keyword_and_ampersands(self):
+        for text in ("a=1 & b=2", "a=1 && b=2", "a=1 and b=2", "a=1 AND b=2"):
+            kinds = [t.type for t in tokenize(text)]
+            assert kinds.count(TokenType.AND) == 1
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as info:
+            tokenize("a=1 | b=2")
+        assert info.value.position == 4
+
+    def test_operators(self):
+        for symbol in ("<", "<=", ">", ">=", "=", "==", "!="):
+            token = tokenize(f"a{symbol}1")[1]
+            assert token.type is TokenType.OPERATOR
+            assert token.value == symbol
+
+
+class TestParsePredicate:
+    def test_paper_example(self, stock_schema):
+        predicate = parse_predicate(
+            stock_schema, "issue='IBM' & price<120 & volume>1000"
+        )
+        assert predicate.test_for("issue") == EqualityTest("IBM")
+        assert predicate.test_for("price") == RangeTest(RangeOp.LT, 120)
+        assert predicate.test_for("volume") == RangeTest(RangeOp.GT, 1000)
+
+    def test_empty_and_star_are_match_all(self, stock_schema, ibm_event):
+        for text in ("", "   ", "*"):
+            predicate = parse_predicate(stock_schema, text)
+            assert predicate.matches(ibm_event)
+            assert predicate.num_dont_cares == 3
+
+    def test_explicit_star_clause(self, stock_schema):
+        predicate = parse_predicate(stock_schema, "issue=* & volume>10")
+        assert predicate.test_for("issue") is DONT_CARE
+
+    def test_star_requires_equality(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_predicate(stock_schema, "price<*")
+
+    def test_double_equals(self, stock_schema):
+        predicate = parse_predicate(stock_schema, "issue=='IBM'")
+        assert predicate.test_for("issue") == EqualityTest("IBM")
+
+    def test_unknown_attribute(self, stock_schema):
+        with pytest.raises(ParseError, match="unknown attribute"):
+            parse_predicate(stock_schema, "nope=1")
+
+    def test_parenthesized_expression(self, stock_schema):
+        predicate = parse_predicate(stock_schema, "(issue='IBM') & (price<120)")
+        assert predicate.test_for("issue") == EqualityTest("IBM")
+
+    def test_repeated_ranges_normalize(self, stock_schema):
+        predicate = parse_predicate(stock_schema, "price>100 & price<120")
+        test = predicate.test_for("price")
+        assert isinstance(test, IntervalTest)
+        assert test.evaluate(110) and not test.evaluate(120)
+
+    def test_trailing_garbage(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_predicate(stock_schema, "price<120 volume>3")
+
+    def test_missing_value(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_predicate(stock_schema, "price<")
+
+    def test_missing_operator(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_predicate(stock_schema, "price 120")
+
+    def test_value_must_be_literal(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_predicate(stock_schema, "price<volume")
+
+    def test_unbalanced_paren(self, stock_schema):
+        with pytest.raises(ParseError):
+            parse_predicate(stock_schema, "(price<120")
+
+    def test_semantics_match_python(self, stock_schema):
+        predicate = parse_predicate(stock_schema, "price>=100 & price<=120 & issue!='X'")
+        good = Event(stock_schema, {"issue": "IBM", "price": 100.0, "volume": 1})
+        bad_price = Event(stock_schema, {"issue": "IBM", "price": 99.0, "volume": 1})
+        bad_issue = Event(stock_schema, {"issue": "X", "price": 110.0, "volume": 1})
+        assert predicate.matches(good)
+        assert not predicate.matches(bad_price)
+        assert not predicate.matches(bad_issue)
+
+    def test_integer_schema_values(self, schema5):
+        predicate = parse_predicate(schema5, "a1=1 & a2=2 & a3=3 & a5=3")
+        assert predicate.matches(Event.from_tuple(schema5, (1, 2, 3, 99, 3)))
+        assert not predicate.matches(Event.from_tuple(schema5, (1, 2, 3, 99, 4)))

@@ -1,0 +1,122 @@
+"""Unit tests for canonical shortest paths and routing tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.network import (
+    RoutingTable,
+    ShortestPaths,
+    Topology,
+    all_routing_tables,
+    linear_chain,
+)
+
+
+class TestShortestPaths:
+    def test_distances_on_chain(self):
+        topology = linear_chain(3, subscribers_per_broker=0, latency_ms=10.0)
+        paths = ShortestPaths(topology, "B0")
+        assert paths.distance_ms["B0"] == 0.0
+        assert paths.distance_ms["B1"] == 10.0
+        assert paths.distance_ms["B2"] == 20.0
+
+    def test_path_to(self):
+        topology = linear_chain(4, subscribers_per_broker=0)
+        paths = ShortestPaths(topology, "B0")
+        assert paths.path_to("B3") == ["B0", "B1", "B2", "B3"]
+
+    def test_path_to_source(self):
+        topology = linear_chain(2, subscribers_per_broker=0)
+        paths = ShortestPaths(topology, "B0")
+        assert paths.path_to("B0") == ["B0"]
+        assert paths.hop_count("B0") == 0
+
+    def test_unreachable(self):
+        topology = Topology()
+        topology.add_broker("B0")
+        topology.add_broker("B1")
+        paths = ShortestPaths(topology, "B0")
+        with pytest.raises(RoutingError):
+            paths.path_to("B1")
+
+    def test_shorter_metric_wins_over_fewer_hops(self):
+        topology = Topology()
+        for name in ("A", "B", "C"):
+            topology.add_broker(name)
+        topology.add_link("A", "C", latency_ms=100.0)
+        topology.add_link("A", "B", latency_ms=10.0)
+        topology.add_link("B", "C", latency_ms=10.0)
+        paths = ShortestPaths(topology, "A")
+        assert paths.path_to("C") == ["A", "B", "C"]
+
+    def test_canonical_tie_break_is_lexicographic(self):
+        # Two equal-cost paths A-B-D and A-C-D: the canonical one goes via B.
+        topology = Topology()
+        for name in ("A", "B", "C", "D"):
+            topology.add_broker(name)
+        topology.add_link("A", "B", latency_ms=10.0)
+        topology.add_link("A", "C", latency_ms=10.0)
+        topology.add_link("B", "D", latency_ms=10.0)
+        topology.add_link("C", "D", latency_ms=10.0)
+        paths = ShortestPaths(topology, "A")
+        assert paths.path_to("D") == ["A", "B", "D"]
+
+    def test_suffix_property(self, diamond_topology):
+        # Any suffix of a canonical path is itself canonical — the property
+        # that makes routing tables and spanning trees agree.
+        for source in diamond_topology.brokers():
+            source_paths = ShortestPaths(diamond_topology, source)
+            for destination in diamond_topology.brokers():
+                path = source_paths.path_to(destination)
+                for i in range(1, len(path)):
+                    inner = ShortestPaths(diamond_topology, path[i])
+                    assert inner.path_to(destination) == path[i:]
+
+
+class TestRoutingTable:
+    def test_next_hop(self):
+        topology = linear_chain(3, subscribers_per_broker=1)
+        table = RoutingTable(topology, "B0")
+        assert table.next_hop("B2") == "B1"
+        assert table.next_hop("S.B2.00") == "B1"
+        assert table.next_hop("S.B0.00") == "S.B0.00"
+
+    def test_destinations_via(self):
+        topology = linear_chain(3, subscribers_per_broker=1)
+        table = RoutingTable(topology, "B0")
+        via_b1 = table.destinations_via("B1")
+        assert "B2" in via_b1 and "S.B2.00" in via_b1
+        assert "S.B0.00" not in via_b1
+
+    def test_distance(self):
+        topology = linear_chain(3, subscribers_per_broker=0, latency_ms=10.0)
+        table = RoutingTable(topology, "B0")
+        assert table.distance_ms("B2") == 20.0
+
+    def test_unknown_destination(self):
+        topology = linear_chain(2, subscribers_per_broker=0)
+        table = RoutingTable(topology, "B0")
+        with pytest.raises(RoutingError):
+            table.next_hop("nope")
+        with pytest.raises(RoutingError):
+            table.distance_ms("nope")
+
+    def test_client_cannot_own_routing_table(self):
+        topology = linear_chain(2, subscribers_per_broker=1)
+        with pytest.raises(RoutingError):
+            RoutingTable(topology, "S.B0.00")
+
+    def test_all_routing_tables(self, diamond_topology):
+        tables = all_routing_tables(diamond_topology)
+        assert set(tables) == set(diamond_topology.brokers())
+        # Tables agree pairwise thanks to canonical paths: B0's route to any
+        # destination via X continues exactly as X's route.
+        for broker, table in tables.items():
+            for destination in diamond_topology.clients():
+                hop = table.next_hop(destination)
+                if hop == destination:
+                    continue
+                remaining = tables[hop].next_hop(destination)
+                assert remaining != broker  # never bounce back

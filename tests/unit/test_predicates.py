@@ -1,0 +1,248 @@
+"""Unit tests for attribute tests, predicates and subscriptions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.matching import (
+    DONT_CARE,
+    DontCare,
+    EqualityTest,
+    Event,
+    IntervalTest,
+    Predicate,
+    RangeOp,
+    RangeTest,
+    Subscription,
+    normalize_tests,
+)
+
+
+class TestDontCare:
+    def test_matches_everything(self):
+        for value in ("x", 0, 3.5, True):
+            assert DONT_CARE.evaluate(value)
+
+    def test_is_dont_care(self):
+        assert DONT_CARE.is_dont_care
+        assert not EqualityTest(1).is_dont_care
+
+    def test_singleton_equality(self):
+        assert DontCare() == DONT_CARE
+        assert hash(DontCare()) == hash(DONT_CARE)
+
+
+class TestEqualityTest:
+    def test_evaluate(self):
+        test = EqualityTest("IBM")
+        assert test.evaluate("IBM")
+        assert not test.evaluate("MSFT")
+
+    def test_equality_is_type_sensitive(self):
+        # 1 == 1.0 in Python, but a branch keyed by int 1 is a different
+        # branch from one keyed by 1.0 only if types differ in the test.
+        assert EqualityTest(1) != EqualityTest(1.0)
+        assert EqualityTest(1) == EqualityTest(1)
+
+    def test_describe(self):
+        assert EqualityTest(5).describe("a1") == "a1=5"
+
+
+class TestRangeTest:
+    @pytest.mark.parametrize(
+        "op,bound,value,expected",
+        [
+            (RangeOp.LT, 10, 5, True),
+            (RangeOp.LT, 10, 10, False),
+            (RangeOp.LE, 10, 10, True),
+            (RangeOp.GT, 10, 11, True),
+            (RangeOp.GT, 10, 10, False),
+            (RangeOp.GE, 10, 10, True),
+            (RangeOp.NE, 10, 10, False),
+            (RangeOp.NE, 10, 11, True),
+        ],
+    )
+    def test_evaluate(self, op, bound, value, expected):
+        assert RangeTest(op, bound).evaluate(value) is expected
+
+    def test_incomparable_types_do_not_match(self):
+        assert not RangeTest(RangeOp.LT, 10).evaluate("string")
+
+    def test_rejects_boolean_bound(self):
+        with pytest.raises(PredicateError):
+            RangeTest(RangeOp.LT, True)
+
+    def test_from_symbol(self):
+        assert RangeOp.from_symbol("<=") is RangeOp.LE
+        with pytest.raises(PredicateError):
+            RangeOp.from_symbol("~")
+
+
+class TestIntervalTest:
+    def test_closed_interval(self):
+        test = IntervalTest(low=1, high=5)
+        assert test.evaluate(1) and test.evaluate(5) and test.evaluate(3)
+        assert not test.evaluate(0) and not test.evaluate(6)
+
+    def test_open_interval(self):
+        test = IntervalTest(low=1, high=5, low_closed=False, high_closed=False)
+        assert not test.evaluate(1) and not test.evaluate(5)
+        assert test.evaluate(2)
+
+    def test_half_unbounded(self):
+        assert IntervalTest(low=3).evaluate(1_000_000)
+        assert IntervalTest(high=3).evaluate(-1_000_000)
+
+    def test_exclusions(self):
+        test = IntervalTest(low=0, high=10, excluded=(5,))
+        assert test.evaluate(4)
+        assert not test.evaluate(5)
+
+    def test_emptiness(self):
+        assert IntervalTest(low=5, high=3).is_empty
+        assert IntervalTest(low=5, high=5, high_closed=False).is_empty
+        assert not IntervalTest(low=5, high=5).is_empty
+
+
+class TestNormalizeTests:
+    def test_empty_is_dont_care(self):
+        assert normalize_tests([]) is DONT_CARE
+        assert normalize_tests([DONT_CARE, DONT_CARE]) is DONT_CARE
+
+    def test_single_equality_passthrough(self):
+        assert normalize_tests([EqualityTest(3)]) == EqualityTest(3)
+
+    def test_agreeing_equalities_collapse(self):
+        assert normalize_tests([EqualityTest(3), EqualityTest(3)]) == EqualityTest(3)
+
+    def test_conflicting_equalities_are_empty(self):
+        result = normalize_tests([EqualityTest(3), EqualityTest(4)])
+        assert isinstance(result, IntervalTest) and result.is_empty
+
+    def test_equality_consistent_with_range(self):
+        result = normalize_tests([EqualityTest(3), RangeTest(RangeOp.LT, 10)])
+        assert result == EqualityTest(3)
+
+    def test_equality_inconsistent_with_range(self):
+        result = normalize_tests([EqualityTest(30), RangeTest(RangeOp.LT, 10)])
+        assert isinstance(result, IntervalTest) and result.is_empty
+
+    def test_two_ranges_to_interval(self):
+        result = normalize_tests(
+            [RangeTest(RangeOp.GT, 100), RangeTest(RangeOp.LT, 120)]
+        )
+        assert isinstance(result, IntervalTest)
+        assert result.evaluate(110)
+        assert not result.evaluate(100)
+        assert not result.evaluate(120)
+
+    def test_tightest_bounds_win(self):
+        result = normalize_tests(
+            [RangeTest(RangeOp.GE, 1), RangeTest(RangeOp.GT, 1), RangeTest(RangeOp.LE, 9)]
+        )
+        assert not result.evaluate(1)
+        assert result.evaluate(2)
+
+    def test_not_equal_becomes_exclusion(self):
+        result = normalize_tests([RangeTest(RangeOp.NE, 5), RangeTest(RangeOp.LT, 10)])
+        assert not result.evaluate(5)
+        assert result.evaluate(4)
+
+
+class TestPredicate:
+    def test_matches_conjunction(self, stock_schema, ibm_event):
+        predicate = Predicate(
+            stock_schema,
+            {
+                "issue": EqualityTest("IBM"),
+                "price": RangeTest(RangeOp.LT, 120),
+                "volume": RangeTest(RangeOp.GT, 1000),
+            },
+        )
+        assert predicate.matches(ibm_event)
+
+    def test_unconstrained_attributes_are_dont_care(self, stock_schema, ibm_event):
+        predicate = Predicate(stock_schema, {"issue": EqualityTest("IBM")})
+        assert predicate.test_for("price").is_dont_care
+        assert predicate.matches(ibm_event)
+
+    def test_unknown_attribute_rejected(self, stock_schema):
+        with pytest.raises(PredicateError):
+            Predicate(stock_schema, {"nope": EqualityTest(1)})
+
+    def test_range_on_boolean_rejected(self):
+        from repro.matching import EventSchema
+
+        schema = EventSchema([("flag", "boolean")])
+        with pytest.raises(PredicateError):
+            Predicate(schema, {"flag": RangeTest(RangeOp.LT, 1)})
+
+    def test_equality_value_coerced(self, stock_schema):
+        predicate = Predicate(stock_schema, {"price": EqualityTest(120)})
+        test = predicate.test_for("price")
+        assert isinstance(test, EqualityTest) and test.value == 120.0
+
+    def test_from_values(self, stock_schema, ibm_event):
+        predicate = Predicate.from_values(stock_schema, issue="IBM", volume=2000)
+        assert predicate.matches(ibm_event)
+
+    def test_mismatched_schema_rejected(self, stock_schema, schema5):
+        predicate = Predicate(stock_schema, {})
+        event = Event.from_tuple(schema5, (1, 2, 3, 4, 5))
+        with pytest.raises(PredicateError):
+            predicate.matches(event)
+
+    def test_num_dont_cares(self, stock_schema):
+        predicate = Predicate.from_values(stock_schema, issue="IBM")
+        assert predicate.num_dont_cares == 2
+
+    def test_satisfiability(self, stock_schema):
+        ok = Predicate(stock_schema, {"price": [RangeTest(RangeOp.LT, 10)]})
+        bad = Predicate(
+            stock_schema,
+            {"price": [RangeTest(RangeOp.LT, 10), RangeTest(RangeOp.GT, 20)]},
+        )
+        assert ok.is_satisfiable
+        assert not bad.is_satisfiable
+
+    def test_describe_round_trips_through_parser(self, stock_schema):
+        from repro.matching import parse_predicate
+
+        predicate = Predicate(
+            stock_schema,
+            {"issue": EqualityTest("IBM"), "volume": [RangeTest(RangeOp.GT, 1000)]},
+        )
+        assert parse_predicate(stock_schema, predicate.describe()) == predicate
+
+    def test_describe_empty(self, stock_schema):
+        assert Predicate(stock_schema, {}).describe() == "*"
+
+    def test_equality_and_hash(self, stock_schema):
+        a = Predicate.from_values(stock_schema, issue="IBM")
+        b = Predicate.from_values(stock_schema, issue="IBM")
+        assert a == b and hash(a) == hash(b)
+
+
+class TestSubscription:
+    def test_ids_unique(self, stock_schema):
+        predicate = Predicate.from_values(stock_schema, issue="IBM")
+        a = Subscription(predicate, "alice")
+        b = Subscription(predicate, "alice")
+        assert a.subscription_id != b.subscription_id
+        assert a != b
+
+    def test_explicit_id(self, stock_schema):
+        predicate = Predicate(stock_schema, {})
+        sub = Subscription(predicate, "alice", subscription_id=77)
+        assert sub.subscription_id == 77
+
+    def test_matches_delegates(self, stock_schema, ibm_event):
+        sub = Subscription(Predicate.from_values(stock_schema, issue="IBM"), "alice")
+        assert sub.matches(ibm_event)
+
+    def test_equality_by_id(self, stock_schema):
+        predicate = Predicate(stock_schema, {})
+        assert Subscription(predicate, "a", subscription_id=1) == Subscription(
+            predicate, "b", subscription_id=1
+        )

@@ -1,0 +1,279 @@
+"""Unit tests for the Parallel Search Tree (Section 2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SubscriptionError
+from repro.matching import (
+    Event,
+    ParallelSearchTree,
+    Predicate,
+    RangeOp,
+    RangeTest,
+    Subscription,
+    build_pst,
+    parse_predicate,
+    uniform_schema,
+)
+from tests.conftest import make_subscription
+
+
+def figure2_tree(schema5) -> ParallelSearchTree:
+    """A small tree in the spirit of Figure 2."""
+    subscriptions = [
+        make_subscription(schema5, "a1=1 & a2=2 & a3=3 & a5=3", "s1"),
+        make_subscription(schema5, "a1=1 & a2=2", "s2"),
+        make_subscription(schema5, "a3=3", "s3"),
+        make_subscription(schema5, "a1=1 & a3=4", "s4"),
+    ]
+    return build_pst(schema5, subscriptions)
+
+
+class TestInsertAndStructure:
+    def test_empty_tree(self, schema5):
+        tree = ParallelSearchTree(schema5)
+        assert len(tree) == 0
+        result = tree.match(Event.from_tuple(schema5, (1, 2, 3, 4, 5)))
+        assert result.subscriptions == []
+        assert result.steps >= 1
+
+    def test_insert_registers(self, schema5):
+        tree = ParallelSearchTree(schema5)
+        sub = make_subscription(schema5, "a1=1", "alice")
+        tree.insert(sub)
+        assert len(tree) == 1
+        assert sub.subscription_id in tree
+
+    def test_duplicate_id_rejected(self, schema5):
+        tree = ParallelSearchTree(schema5)
+        sub = make_subscription(schema5, "a1=1", "alice")
+        tree.insert(sub)
+        with pytest.raises(SubscriptionError):
+            tree.insert(sub)
+
+    def test_wrong_schema_rejected(self, schema5, stock_schema):
+        tree = ParallelSearchTree(schema5)
+        with pytest.raises(SubscriptionError):
+            tree.insert(make_subscription(stock_schema, "issue='IBM'", "alice"))
+
+    def test_unsatisfiable_rejected(self, schema5):
+        tree = ParallelSearchTree(schema5)
+        predicate = Predicate(
+            schema5,
+            {"a1": [RangeTest(RangeOp.GT, 5), RangeTest(RangeOp.LT, 3)]},
+        )
+        with pytest.raises(SubscriptionError):
+            tree.insert(Subscription(predicate, "alice"))
+
+    def test_shared_prefixes_share_nodes(self, schema5):
+        # Two subscriptions sharing a1=1 & a2=2 should share that path.
+        tree = build_pst(
+            schema5,
+            [
+                make_subscription(schema5, "a1=1 & a2=2 & a3=1", "x"),
+                make_subscription(schema5, "a1=1 & a2=2 & a3=2", "y"),
+            ],
+        )
+        solo = build_pst(
+            schema5, [make_subscription(schema5, "a1=1 & a2=2 & a3=1", "x")]
+        )
+        # Adding the second subscription costs fewer nodes than a new path.
+        assert tree.node_count() < 2 * solo.node_count()
+
+    def test_attribute_order_permutation_checked(self, schema5):
+        with pytest.raises(SubscriptionError):
+            ParallelSearchTree(schema5, attribute_order=["a1", "a2"])
+
+    def test_custom_attribute_order(self, schema5):
+        tree = ParallelSearchTree(
+            schema5, attribute_order=["a5", "a4", "a3", "a2", "a1"]
+        )
+        sub = make_subscription(schema5, "a5=3", "alice")
+        tree.insert(sub)
+        event_hit = Event.from_tuple(schema5, (0, 0, 0, 0, 3))
+        event_miss = Event.from_tuple(schema5, (3, 0, 0, 0, 0))
+        assert tree.match(event_hit).subscribers == {"alice"}
+        assert tree.match(event_miss).subscribers == set()
+
+
+class TestMatching:
+    def test_figure2_walk(self, schema5):
+        tree = figure2_tree(schema5)
+        result = tree.match(Event.from_tuple(schema5, (1, 2, 3, 1, 2)))
+        assert result.subscribers == {"s2", "s3"}
+
+    def test_figure2_all_matching(self, schema5):
+        tree = figure2_tree(schema5)
+        result = tree.match(Event.from_tuple(schema5, (1, 2, 3, 1, 3)))
+        assert result.subscribers == {"s1", "s2", "s3"}
+
+    def test_star_only_path(self, schema5):
+        tree = figure2_tree(schema5)
+        result = tree.match(Event.from_tuple(schema5, (9, 9, 3, 9, 9)))
+        assert result.subscribers == {"s3"}
+
+    def test_no_match(self, schema5):
+        tree = figure2_tree(schema5)
+        assert tree.match(Event.from_tuple(schema5, (9, 9, 9, 9, 9))).subscribers == set()
+
+    def test_range_branches(self, stock_schema):
+        tree = build_pst(
+            stock_schema,
+            [
+                make_subscription(stock_schema, "price<120", "cheap"),
+                make_subscription(stock_schema, "price>=120", "expensive"),
+            ],
+        )
+        low = Event(stock_schema, {"issue": "X", "price": 100.0, "volume": 1})
+        high = Event(stock_schema, {"issue": "X", "price": 150.0, "volume": 1})
+        assert tree.match(low).subscribers == {"cheap"}
+        assert tree.match(high).subscribers == {"expensive"}
+
+    def test_matches_equal_brute_force_randomized(self, schema5):
+        rng = random.Random(5)
+        subscriptions = []
+        for i in range(120):
+            tests = [
+                f"a{j}={rng.randrange(3)}" for j in range(1, 6) if rng.random() < 0.5
+            ]
+            subscriptions.append(
+                make_subscription(schema5, " & ".join(tests) if tests else "*", f"s{i}")
+            )
+        tree = build_pst(schema5, subscriptions)
+        for _ in range(200):
+            event = Event.from_tuple(
+                schema5, tuple(rng.randrange(3) for _ in range(5))
+            )
+            expected = {s.subscription_id for s in tree.match_brute_force(event)}
+            actual = {s.subscription_id for s in tree.match(event).subscriptions}
+            assert actual == expected
+
+    def test_steps_counted(self, schema5):
+        tree = figure2_tree(schema5)
+        result = tree.match(Event.from_tuple(schema5, (1, 2, 3, 1, 2)))
+        assert result.steps >= 5  # at least the constrained path is walked
+
+    def test_wrong_schema_event(self, schema5, ibm_event):
+        tree = figure2_tree(schema5)
+        with pytest.raises(SubscriptionError):
+            tree.match(ibm_event)
+
+    def test_duplicate_subscriber_reported_once_per_subscription(self, schema5):
+        a = make_subscription(schema5, "a1=1", "alice")
+        b = make_subscription(schema5, "a2=2", "alice")
+        tree = build_pst(schema5, [a, b])
+        result = tree.match(Event.from_tuple(schema5, (1, 2, 0, 0, 0)))
+        assert len(result.subscriptions) == 2
+        assert result.subscribers == {"alice"}
+
+
+class TestRemove:
+    def test_remove_returns_subscription(self, schema5):
+        tree = figure2_tree(schema5)
+        target = next(s for s in tree.subscriptions if s.subscriber == "s3")
+        removed = tree.remove(target.subscription_id)
+        assert removed is target
+        assert len(tree) == 3
+
+    def test_removed_subscription_no_longer_matches(self, schema5):
+        tree = figure2_tree(schema5)
+        target = next(s for s in tree.subscriptions if s.subscriber == "s3")
+        tree.remove(target.subscription_id)
+        result = tree.match(Event.from_tuple(schema5, (9, 9, 3, 9, 9)))
+        assert result.subscribers == set()
+
+    def test_remove_unknown_id(self, schema5):
+        tree = figure2_tree(schema5)
+        with pytest.raises(SubscriptionError):
+            tree.remove(999_999_999)
+
+    def test_remove_prunes_empty_branches(self, schema5):
+        tree = ParallelSearchTree(schema5)
+        sub = make_subscription(schema5, "a1=1 & a2=2", "alice")
+        tree.insert(sub)
+        nodes_with = tree.node_count()
+        tree.remove(sub.subscription_id)
+        assert tree.node_count() < nodes_with
+        # Root always remains.
+        assert tree.node_count() == 1
+
+    def test_remove_all_then_reinsert(self, schema5):
+        subscriptions = [
+            make_subscription(schema5, "a1=1", "a"),
+            make_subscription(schema5, "a1=2 & a3=1", "b"),
+        ]
+        tree = build_pst(schema5, subscriptions)
+        for sub in subscriptions:
+            tree.remove(sub.subscription_id)
+        assert len(tree) == 0
+        again = make_subscription(schema5, "a1=1", "a")
+        tree.insert(again)
+        assert tree.match(Event.from_tuple(schema5, (1, 0, 0, 0, 0))).subscribers == {"a"}
+
+
+class TestTrivialTestElimination:
+    def test_eliminates_star_only_levels(self, schema5):
+        tree = build_pst(schema5, [make_subscription(schema5, "a5=3", "alice")])
+        before = tree.node_count()
+        eliminated = tree.eliminate_trivial_tests()
+        assert eliminated == 4  # a1..a4 levels were pure-star
+        assert tree.node_count() == before - eliminated
+
+    def test_matching_unchanged_after_elimination(self, schema5):
+        tree = figure2_tree(schema5)
+        events = [
+            Event.from_tuple(schema5, (a, b, c, 1, e))
+            for a in range(3)
+            for b in range(3)
+            for c in range(4)
+            for e in range(4)
+        ]
+        expected = [
+            {s.subscription_id for s in tree.match(event).subscriptions}
+            for event in events
+        ]
+        tree.eliminate_trivial_tests()
+        for event, want in zip(events, expected):
+            got = {s.subscription_id for s in tree.match(event).subscriptions}
+            assert got == want
+
+    def test_steps_do_not_increase(self, schema5):
+        tree = figure2_tree(schema5)
+        event = Event.from_tuple(schema5, (1, 2, 3, 1, 3))
+        before = tree.match(event).steps
+        tree.eliminate_trivial_tests()
+        assert tree.match(event).steps <= before
+
+    def test_insert_after_elimination_rematerializes(self, schema5):
+        tree = build_pst(schema5, [make_subscription(schema5, "a5=3", "alice")])
+        tree.eliminate_trivial_tests()
+        # This subscription constrains a2, a level that was spliced out.
+        newcomer = make_subscription(schema5, "a2=7 & a5=3", "bob")
+        tree.insert(newcomer)
+        hit = Event.from_tuple(schema5, (0, 7, 0, 0, 3))
+        miss = Event.from_tuple(schema5, (0, 8, 0, 0, 3))
+        assert tree.match(hit).subscribers == {"alice", "bob"}
+        assert tree.match(miss).subscribers == {"alice"}
+
+    def test_remove_after_elimination(self, schema5):
+        alice = make_subscription(schema5, "a5=3", "alice")
+        bob = make_subscription(schema5, "a3=1 & a5=3", "bob")
+        tree = build_pst(schema5, [alice, bob])
+        tree.eliminate_trivial_tests()
+        tree.remove(bob.subscription_id)
+        event = Event.from_tuple(schema5, (0, 0, 1, 0, 3))
+        assert tree.match(event).subscribers == {"alice"}
+
+
+class TestDomains:
+    def test_domain_validation(self, schema5):
+        with pytest.raises(Exception):
+            ParallelSearchTree(schema5, domains={"zzz": [1, 2]})
+
+    def test_domain_lookup(self, schema5):
+        tree = ParallelSearchTree(schema5, domains={"a1": [0, 1, 2]})
+        assert tree.domain_of(0) == frozenset({0, 1, 2})
+        assert tree.domain_of(1) is None

@@ -1,0 +1,102 @@
+"""Unit tests for quenching (would_deliver) and trace rendering, plus the
+latency summary metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ContentRoutedNetwork
+from repro.matching import uniform_schema
+from repro.network import linear_chain
+from repro.sim import DeliveryRecord, SimulationResult
+
+SCHEMA = uniform_schema(2)
+
+
+@pytest.fixture
+def network():
+    net = ContentRoutedNetwork(linear_chain(3, subscribers_per_broker=1), SCHEMA)
+    net.subscribe("S.B2.00", "a1=1")
+    return net
+
+
+class TestQuenching:
+    def test_quenches_unwanted_events(self, network):
+        assert not network.would_deliver("P1", {"a1": 0, "a2": 0})
+
+    def test_passes_wanted_events(self, network):
+        assert network.would_deliver("P1", {"a1": 1, "a2": 0})
+
+    def test_agrees_with_actual_delivery(self, network):
+        for a1 in (0, 1):
+            event = {"a1": a1, "a2": 0}
+            predicted = network.would_deliver("P1", event)
+            actual = bool(network.publish("P1", event).delivered_clients)
+            assert predicted == actual
+
+    def test_local_subscriber_detected(self, network):
+        network.subscribe("S.B0.00", "a2=1")
+        assert network.would_deliver("P1", {"a1": 0, "a2": 1})
+
+
+class TestTraceRendering:
+    def test_render_tree_shows_path_and_deliveries(self, network):
+        network.subscribe("S.B0.00", "a1=1")
+        trace = network.publish("P1", {"a1": 1, "a2": 0})
+        text = trace.render_tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("B0 [")
+        assert any("+- S.B0.00" in line for line in lines)
+        assert any(line.strip().startswith("B2 [") for line in lines)
+        assert any("+- S.B2.00" in line for line in lines)
+        # Depth is visible: B2's line is indented deeper than B0's.
+        b0_indent = next(line for line in lines if line.lstrip().startswith("B0"))
+        b2_indent = next(line for line in lines if line.lstrip().startswith("B2"))
+        assert len(b2_indent) - len(b2_indent.lstrip()) > len(b0_indent) - len(
+            b0_indent.lstrip()
+        )
+
+    def test_render_tree_empty_delivery(self, network):
+        trace = network.publish("P1", {"a1": 0, "a2": 0})
+        assert trace.render_tree().startswith("B0 [")
+
+
+def make_result(latencies_ms):
+    from repro.sim.engine import TICK_US
+
+    deliveries = [
+        DeliveryRecord(f"c{i}", i, 0, round(ms * 1000 / TICK_US), True, 1)
+        for i, ms in enumerate(latencies_ms)
+    ]
+    return SimulationResult(
+        elapsed_ticks=10_000,
+        broker_stats={},
+        link_messages={},
+        deliveries=deliveries,
+        published_events=len(deliveries),
+    )
+
+
+class TestLatencySummary:
+    def test_percentiles(self):
+        result = make_result(list(range(1, 101)))  # 1..100 ms
+        assert result.latency_percentile_ms(50) == pytest.approx(50.0, abs=0.6)
+        assert result.latency_percentile_ms(99) == pytest.approx(99.0, abs=0.6)
+        assert result.latency_percentile_ms(100) == pytest.approx(100.0, abs=0.6)
+
+    def test_percentile_bounds(self):
+        result = make_result([1.0])
+        with pytest.raises(ValueError):
+            result.latency_percentile_ms(0)
+        with pytest.raises(ValueError):
+            result.latency_percentile_ms(101)
+
+    def test_empty_result(self):
+        result = make_result([])
+        assert result.latency_percentile_ms(50) is None
+        assert result.latency_summary_ms() == {}
+
+    def test_summary_keys(self):
+        summary = make_result([5.0, 10.0, 20.0]).latency_summary_ms()
+        assert set(summary) == {"p50", "p95", "p99", "max"}
+        assert summary["max"] >= summary["p99"] >= summary["p50"]

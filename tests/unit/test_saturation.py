@@ -1,0 +1,69 @@
+"""Unit tests for the saturation-rate search (driving Chart 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import SimulationResult, find_saturation_rate
+
+
+def fake_probe(threshold: float):
+    """A probe that 'overloads' at rates above ``threshold``."""
+
+    def probe(rate: float) -> SimulationResult:
+        return SimulationResult(
+            elapsed_ticks=1000,
+            broker_stats={},
+            link_messages={},
+            deliveries=[],
+            published_events=0,
+            aborted_overloaded=rate > threshold,
+        )
+
+    return probe
+
+
+class TestSearch:
+    def test_finds_threshold(self):
+        result = find_saturation_rate(fake_probe(3000.0), initial_rate=100.0)
+        assert result.highest_ok_rate <= 3000.0 <= result.lowest_overloaded_rate
+        assert (
+            result.lowest_overloaded_rate / result.highest_ok_rate
+            <= 1.15 + 1e-9
+        )
+
+    def test_saturation_rate_within_bracket(self):
+        result = find_saturation_rate(fake_probe(777.0), initial_rate=50.0)
+        assert result.highest_ok_rate <= result.saturation_rate
+        assert result.saturation_rate <= result.lowest_overloaded_rate
+
+    def test_probes_recorded(self):
+        result = find_saturation_rate(fake_probe(1000.0), initial_rate=100.0)
+        assert len(result.probes) >= 3
+        rates = [rate for rate, _overloaded in result.probes]
+        assert len(set(rates)) == len(rates)  # no repeated probes
+
+    def test_overloaded_at_initial_rate_bisects_down(self):
+        result = find_saturation_rate(fake_probe(80.0), initial_rate=500.0)
+        assert result.highest_ok_rate <= 80.0 <= result.lowest_overloaded_rate
+
+    def test_never_overloads_raises(self):
+        with pytest.raises(SimulationError):
+            find_saturation_rate(
+                fake_probe(float("inf")), initial_rate=100.0, max_rate=10_000.0
+            )
+
+    def test_always_overloaded_raises(self):
+        with pytest.raises(SimulationError):
+            find_saturation_rate(fake_probe(0.0), initial_rate=100.0)
+
+    def test_invalid_initial_rate(self):
+        with pytest.raises(SimulationError):
+            find_saturation_rate(fake_probe(10.0), initial_rate=0.0)
+
+    def test_custom_resolution(self):
+        result = find_saturation_rate(
+            fake_probe(1000.0), initial_rate=10.0, relative_resolution=0.5
+        )
+        assert result.lowest_overloaded_rate / result.highest_ok_rate <= 1.5 + 1e-9

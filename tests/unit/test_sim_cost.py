@@ -1,0 +1,42 @@
+"""Unit tests for the broker cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import DEFAULT_COST_MODEL, CostModel
+
+
+class TestCostModel:
+    def test_service_time_components(self):
+        model = CostModel(
+            per_message_overhead_us=10.0,
+            per_matching_step_us=2.0,
+            per_send_us=5.0,
+            per_destination_entry_us=1.0,
+        )
+        assert model.service_time_us() == 10.0
+        assert model.service_time_us(matching_steps=3) == 16.0
+        assert model.service_time_us(sends=2) == 20.0
+        assert model.service_time_us(destination_entries=4) == 14.0
+        assert (
+            model.service_time_us(matching_steps=3, sends=2, destination_entries=4)
+            == 30.0
+        )
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(SimulationError):
+            CostModel(per_send_us=-1.0)
+        with pytest.raises(SimulationError):
+            CostModel(per_matching_step_us=-0.1)
+
+    def test_default_model_matches_paper_narrative(self):
+        # Matching steps are "a few microseconds"; a send costs more than a
+        # step (transport dominates matching).
+        assert 1.0 <= DEFAULT_COST_MODEL.per_matching_step_us <= 10.0
+        assert DEFAULT_COST_MODEL.per_send_us > DEFAULT_COST_MODEL.per_matching_step_us
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COST_MODEL.per_send_us = 0  # type: ignore[misc]

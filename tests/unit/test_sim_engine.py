@@ -1,0 +1,131 @@
+"""Unit tests for the discrete-event engine and tick conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    TICK_US,
+    Simulator,
+    ms_to_ticks,
+    seconds_to_ticks,
+    ticks_to_ms,
+    ticks_to_seconds,
+    us_to_ticks,
+)
+
+
+class TestTickConversions:
+    def test_tick_is_12_microseconds(self):
+        assert TICK_US == 12.0
+
+    def test_us_to_ticks_rounds(self):
+        assert us_to_ticks(12.0) == 1
+        assert us_to_ticks(18.0) == 2  # rounds to nearest
+        assert us_to_ticks(5.0) == 0
+
+    def test_ms_to_ticks(self):
+        assert ms_to_ticks(1.0) == 83  # 1000/12 rounded
+
+    def test_seconds_to_ticks(self):
+        assert seconds_to_ticks(1.0) == 83333
+
+    def test_roundtrips_approximately(self):
+        assert abs(ticks_to_ms(ms_to_ticks(65.0)) - 65.0) < 0.01
+        assert abs(ticks_to_seconds(seconds_to_ticks(0.5)) - 0.5) < 1e-4
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            us_to_ticks(-1.0)
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(30, lambda: order.append("c"))
+        simulator.schedule(10, lambda: order.append("a"))
+        simulator.schedule(20, lambda: order.append("b"))
+        simulator.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_within_same_tick(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(5, lambda: order.append(1))
+        simulator.schedule(5, lambda: order.append(2))
+        simulator.schedule(5, lambda: order.append(3))
+        simulator.run()
+        assert order == [1, 2, 3]
+
+    def test_now_advances(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule(7, lambda: seen.append(simulator.now))
+        simulator.run()
+        assert seen == [7]
+        assert simulator.now == 7
+
+    def test_callbacks_can_schedule_more(self):
+        simulator = Simulator()
+        hits = []
+
+        def tick():
+            hits.append(simulator.now)
+            if len(hits) < 3:
+                simulator.schedule(10, tick)
+
+        simulator.schedule(0, tick)
+        simulator.run()
+        assert hits == [0, 10, 20]
+
+    def test_run_until_caps_clock(self):
+        simulator = Simulator()
+        hits = []
+        simulator.schedule(10, lambda: hits.append("early"))
+        simulator.schedule(100, lambda: hits.append("late"))
+        simulator.run(until_ticks=50)
+        assert hits == ["early"]
+        assert simulator.now == 50
+        assert simulator.pending == 1
+
+    def test_resume_after_horizon(self):
+        simulator = Simulator()
+        hits = []
+        simulator.schedule(100, lambda: hits.append("late"))
+        simulator.run(until_ticks=50)
+        simulator.run()
+        assert hits == ["late"]
+
+    def test_cannot_schedule_in_past(self):
+        simulator = Simulator()
+        simulator.schedule(10, lambda: simulator.schedule_at(5, lambda: None))
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_request_stop(self):
+        simulator = Simulator()
+        hits = []
+        simulator.schedule(1, lambda: hits.append(1))
+        simulator.schedule(2, simulator.request_stop)
+        simulator.schedule(3, lambda: hits.append(3))
+        simulator.run()
+        assert hits == [1]
+        assert simulator.pending == 1
+
+    def test_processed_events_counted(self):
+        simulator = Simulator()
+        for delay in range(5):
+            simulator.schedule(delay, lambda: None)
+        simulator.run()
+        assert simulator.processed_events == 5
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        simulator = Simulator()
+        simulator.run(until_ticks=42)
+        assert simulator.now == 42

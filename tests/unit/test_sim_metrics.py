@@ -1,0 +1,108 @@
+"""Unit tests for broker stats, delivery records and overload detection."""
+
+from __future__ import annotations
+
+from repro.sim import BrokerStats, DeliveryRecord, SimulationResult, TICK_US
+
+
+def stats_with_queue_profile(profile, busy_fraction=1.0, elapsed=10_000):
+    stats = BrokerStats("B0")
+    stats.busy_ticks = int(elapsed * busy_fraction)
+    for i, length in enumerate(profile):
+        stats.record_queue(i * (elapsed // max(1, len(profile))), length)
+    return stats
+
+
+class TestBrokerStats:
+    def test_utilization(self):
+        stats = BrokerStats("B0")
+        stats.busy_ticks = 500
+        assert stats.utilization(1000) == 0.5
+        assert stats.utilization(0) == 0.0
+
+    def test_max_queue_tracked(self):
+        stats = BrokerStats("B0")
+        stats.record_queue(0, 3)
+        stats.record_queue(1, 10)
+        stats.record_queue(2, 2)
+        assert stats.max_queue == 10
+
+    def test_idle_broker_not_overloaded(self):
+        stats = stats_with_queue_profile([0] * 30, busy_fraction=0.2)
+        assert not stats.is_overloaded(10_000)
+
+    def test_busy_but_stable_not_overloaded(self):
+        # Saturated CPU with a small steady queue is "keeping up".
+        stats = stats_with_queue_profile([3] * 30, busy_fraction=1.0)
+        assert not stats.is_overloaded(10_000)
+
+    def test_growing_queue_overloaded(self):
+        profile = [i * 5 for i in range(30)]  # linear growth to 145
+        stats = stats_with_queue_profile(profile, busy_fraction=1.0)
+        assert stats.is_overloaded(10_000)
+
+    def test_growth_without_saturation_not_overloaded(self):
+        profile = [i * 5 for i in range(30)]
+        stats = stats_with_queue_profile(profile, busy_fraction=0.5)
+        assert not stats.is_overloaded(10_000)
+
+    def test_drained_spike_not_overloaded(self):
+        # A transient burst that drains by the end of the run.
+        profile = [0] * 10 + [50] * 5 + [0] * 15
+        stats = stats_with_queue_profile(profile, busy_fraction=1.0)
+        assert not stats.is_overloaded(10_000)
+
+
+class TestDeliveryRecord:
+    def test_latency(self):
+        record = DeliveryRecord("c0", 1, 100, 350, True, 2)
+        assert record.latency_ticks == 250
+        assert abs(record.latency_ms - 250 * TICK_US / 1000.0) < 1e-9
+
+
+def make_result(**kwargs):
+    defaults = dict(
+        elapsed_ticks=10_000,
+        broker_stats={},
+        link_messages={},
+        deliveries=[],
+        published_events=0,
+    )
+    defaults.update(kwargs)
+    return SimulationResult(**defaults)
+
+
+class TestSimulationResult:
+    def test_aborted_flag_forces_overload(self):
+        result = make_result(aborted_overloaded=True)
+        assert result.is_overloaded
+
+    def test_matched_and_wasted_deliveries(self):
+        deliveries = [
+            DeliveryRecord("c0", 1, 0, 10, True, 1),
+            DeliveryRecord("c1", 1, 0, 10, False, 1),
+            DeliveryRecord("c2", 1, 0, 30, True, 1),
+        ]
+        result = make_result(deliveries=deliveries)
+        assert len(result.matched_deliveries) == 2
+        assert result.wasted_deliveries == 1
+
+    def test_mean_latency(self):
+        deliveries = [
+            DeliveryRecord("c0", 1, 0, 100, True, 1),
+            DeliveryRecord("c1", 1, 0, 300, True, 1),
+        ]
+        result = make_result(deliveries=deliveries)
+        assert abs(result.mean_latency_ms() - 200 * TICK_US / 1000.0) < 1e-9
+
+    def test_mean_latency_empty_is_none(self):
+        assert make_result().mean_latency_ms() is None
+
+    def test_totals(self):
+        stats = BrokerStats("B0")
+        stats.processed = 7
+        result = make_result(
+            broker_stats={"B0": stats}, link_messages={("a", "b"): 3, ("b", "c"): 4}
+        )
+        assert result.total_broker_messages == 7
+        assert result.total_link_messages == 7

@@ -1,0 +1,103 @@
+"""Unit tests for spanning trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.network import (
+    SpanningTree,
+    Topology,
+    linear_chain,
+    spanning_trees_for_publishers,
+)
+
+
+class TestSpanningTree:
+    def test_parent_child_consistency(self, diamond_topology):
+        tree = SpanningTree(diamond_topology, "B0")
+        for node, parent in tree.parent.items():
+            if parent is None:
+                assert node == "B0"
+            else:
+                assert node in tree.children[parent]
+
+    def test_root_has_no_parent(self, diamond_topology):
+        tree = SpanningTree(diamond_topology, "B0")
+        assert tree.parent["B0"] is None
+
+    def test_every_node_spanned(self, diamond_topology):
+        tree = SpanningTree(diamond_topology, "B0")
+        assert set(tree.parent) == {n.name for n in diamond_topology.nodes()}
+
+    def test_descendants(self):
+        topology = linear_chain(3, subscribers_per_broker=1)
+        tree = SpanningTree(topology, "B0")
+        assert "B2" in tree.descendants("B1")
+        assert "S.B2.00" in tree.descendants("B1")
+        assert "B0" not in tree.descendants("B1")
+
+    def test_is_downstream(self):
+        topology = linear_chain(3, subscribers_per_broker=1)
+        tree = SpanningTree(topology, "B0")
+        assert tree.is_downstream("S.B2.00", "B1")
+        assert not tree.is_downstream("S.B0.00", "B1")
+
+    def test_downstream_via(self):
+        topology = linear_chain(3, subscribers_per_broker=1)
+        tree = SpanningTree(topology, "B0")
+        via_b1 = tree.downstream_via("B0", "B1")
+        assert "B2" in via_b1 and "S.B1.00" in via_b1
+        # Client link: exactly that client.
+        assert tree.downstream_via("B0", "S.B0.00") == frozenset({"S.B0.00"})
+        # Not a tree child: empty.
+        assert tree.downstream_via("B1", "B0") == frozenset()
+
+    def test_path_from_root_and_depth(self):
+        topology = linear_chain(4, subscribers_per_broker=1)
+        tree = SpanningTree(topology, "B0")
+        assert tree.path_from_root("B3") == ["B0", "B1", "B2", "B3"]
+        assert tree.depth("B3") == 3
+        assert tree.depth("S.B3.00") == 4
+        assert tree.depth("B0") == 0
+
+    def test_rooted_at_client_rejected(self):
+        topology = linear_chain(2, subscribers_per_broker=1)
+        with pytest.raises(RoutingError):
+            SpanningTree(topology, "S.B0.00")
+
+    def test_unreachable_nodes_rejected(self):
+        topology = Topology()
+        topology.add_broker("B0")
+        topology.add_broker("B1")
+        with pytest.raises(RoutingError):
+            SpanningTree(topology, "B0")
+
+    def test_unknown_node_queries(self, diamond_topology):
+        tree = SpanningTree(diamond_topology, "B0")
+        with pytest.raises(RoutingError):
+            tree.descendants("zzz")
+        with pytest.raises(RoutingError):
+            tree.path_from_root("zzz")
+
+
+class TestTreesForPublishers:
+    def test_one_tree_per_publisher_broker(self, diamond_topology):
+        trees = spanning_trees_for_publishers(diamond_topology)
+        assert set(trees) == {"B0", "B3"}  # P1 on B0, P2 on B3
+        for root, tree in trees.items():
+            assert tree.root == root
+
+    def test_publishers_on_same_broker_share_tree(self):
+        topology = linear_chain(2, subscribers_per_broker=1)
+        from repro.network import NodeKind
+
+        topology.add_client("P2", "B0", kind=NodeKind.PUBLISHER)
+        trees = spanning_trees_for_publishers(topology)
+        assert set(trees) == {"B0"}
+
+    def test_no_publishers_no_trees(self):
+        topology = Topology()
+        topology.add_broker("B0")
+        topology.add_client("c0", "B0")
+        assert spanning_trees_for_publishers(topology) == {}

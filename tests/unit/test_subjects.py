@@ -1,0 +1,107 @@
+"""Unit tests for the subject-based adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ContentRoutedNetwork
+from repro.errors import SchemaError, SubscriptionError
+from repro.matching import uniform_schema
+from repro.network import NodeKind, Topology
+from repro.subjects import SUBJECT_ATTRIBUTE, SubjectAdapter, subject_schema
+
+SUBJECTS = ["nyse.ibm", "nyse.msft", "nasdaq.intc"]
+
+
+def build_network(factored: bool = False):
+    schema = subject_schema([("price", "dollar"), ("volume", "integer")])
+    topology = Topology()
+    topology.add_broker("B0")
+    topology.add_broker("B1")
+    topology.add_link("B0", "B1", latency_ms=10.0)
+    topology.add_client("alice", "B0")
+    topology.add_client("bob", "B1")
+    topology.add_client("ticker", "B0", kind=NodeKind.PUBLISHER)
+    kwargs = {}
+    if factored:
+        kwargs = {
+            "domains": {SUBJECT_ATTRIBUTE: SUBJECTS},
+            "factoring_attributes": [SUBJECT_ATTRIBUTE],
+        }
+    return ContentRoutedNetwork(topology, schema, **kwargs)
+
+
+class TestSubjectSchema:
+    def test_subject_comes_first(self):
+        schema = subject_schema([("x", "integer")])
+        assert schema.names == ("subject", "x")
+
+    def test_duplicate_subject_rejected(self):
+        with pytest.raises(SchemaError):
+            subject_schema([("subject", "string")])
+
+    def test_adapter_requires_subject_attribute(self, two_broker_topology):
+        network = ContentRoutedNetwork(two_broker_topology, uniform_schema(2))
+        with pytest.raises(SchemaError):
+            SubjectAdapter(network)
+
+
+class TestMembership:
+    def test_subscribe_and_membership_views(self):
+        adapter = SubjectAdapter(build_network())
+        adapter.subscribe("alice", "nyse.ibm")
+        adapter.subscribe("bob", "nyse.ibm")
+        adapter.subscribe("bob", "nyse.msft")
+        assert adapter.members_of("nyse.ibm") == ["alice", "bob"]
+        assert adapter.subjects_of("bob") == ["nyse.ibm", "nyse.msft"]
+
+    def test_unsubscribe(self):
+        adapter = SubjectAdapter(build_network())
+        adapter.subscribe("alice", "nyse.ibm")
+        adapter.unsubscribe("alice", "nyse.ibm")
+        assert adapter.members_of("nyse.ibm") == []
+        with pytest.raises(SubscriptionError):
+            adapter.unsubscribe("alice", "nyse.ibm")
+
+    def test_double_join_needs_double_leave(self):
+        adapter = SubjectAdapter(build_network())
+        adapter.subscribe("alice", "nyse.ibm")
+        adapter.subscribe("alice", "nyse.ibm")
+        adapter.unsubscribe("alice", "nyse.ibm")
+        assert adapter.members_of("nyse.ibm") == ["alice"]
+
+
+class TestDelivery:
+    def test_events_reach_exactly_the_subject_members(self):
+        adapter = SubjectAdapter(build_network())
+        adapter.subscribe("alice", "nyse.ibm")
+        adapter.subscribe("bob", "nyse.msft")
+        trace = adapter.publish("ticker", "nyse.ibm", price=119.0, volume=100)
+        assert trace.delivered_clients == {"alice"}
+        trace = adapter.publish("ticker", "nyse.msft", price=50.0, volume=100)
+        assert trace.delivered_clients == {"bob"}
+        trace = adapter.publish("ticker", "nasdaq.intc", price=30.0, volume=100)
+        assert trace.delivered_clients == set()
+
+    def test_subject_dispatch_with_factoring_is_table_lookup(self):
+        """With the subject factored, matching an event is the paper's
+        subject-based "mere table lookup": one step for the index plus a
+        trivial residual tree."""
+        adapter = SubjectAdapter(build_network(factored=True))
+        adapter.subscribe("alice", "nyse.ibm")
+        trace = adapter.publish("ticker", "nyse.ibm", price=1.0, volume=1)
+        assert trace.delivered_clients == {"alice"}
+        publishing_broker_steps = trace.broker_steps["B0"]
+        assert publishing_broker_steps <= 3
+
+    def test_content_and_subject_subscriptions_coexist(self):
+        network = build_network()
+        adapter = SubjectAdapter(network)
+        adapter.subscribe("alice", "nyse.ibm")
+        # Bob uses the *content-based* superpower on the same space: an
+        # orthogonal filter no subject-based system could express.
+        network.subscribe("bob", "volume>1000")
+        trace = adapter.publish("ticker", "nyse.ibm", price=1.0, volume=5000)
+        assert trace.delivered_clients == {"alice", "bob"}
+        trace = adapter.publish("ticker", "nasdaq.intc", price=1.0, volume=5000)
+        assert trace.delivered_clients == {"bob"}

@@ -1,0 +1,96 @@
+"""Unit tests for the in-memory broker harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching import uniform_schema
+from repro.testkit import InMemoryBrokerHarness
+
+SCHEMA = uniform_schema(2)
+
+
+class TestHarnessLifecycle:
+    def test_chain_constructor_starts_everything(self):
+        with InMemoryBrokerHarness.for_chain(3, SCHEMA) as harness:
+            assert set(harness.nodes) == {"B0", "B1", "B2"}
+            assert harness.nodes["B1"].connected_brokers == ["B0", "B2"]
+
+    def test_star_constructor(self):
+        with InMemoryBrokerHarness.for_star(3, SCHEMA) as harness:
+            assert harness.nodes["HUB"].connected_brokers == ["E0", "E1", "E2"]
+
+    def test_shutdown_disconnects_clients(self):
+        harness = InMemoryBrokerHarness.for_chain(2, SCHEMA)
+        client = harness.attach("S.B0.00")
+        harness.shutdown()
+        assert not client.is_connected
+
+
+class TestEndToEnd:
+    def test_docstring_scenario(self):
+        with InMemoryBrokerHarness.for_chain(3, SCHEMA) as harness:
+            alice = harness.attach("S.B0.00")
+            pub = harness.attach("P1")
+            alice.subscribe_and_wait("a1=1")
+            harness.settle()
+            pub.publish({"a1": 1, "a2": 0})
+            harness.settle()
+            assert len(alice.received_events) == 1
+
+    def test_cross_broker_delivery(self):
+        with InMemoryBrokerHarness.for_chain(4, SCHEMA) as harness:
+            far = harness.attach("S.B3.00")
+            pub = harness.attach("P1")
+            far.subscribe_and_wait("a2=1")
+            harness.settle()
+            pub.publish({"a1": 0, "a2": 1})
+            pub.publish({"a1": 0, "a2": 0})
+            harness.settle()
+            assert len(far.received_events) == 1
+
+    def test_on_event_callback_wiring(self):
+        seen = []
+        with InMemoryBrokerHarness.for_chain(2, SCHEMA) as harness:
+            harness.attach("S.B1.00", on_event=lambda e, s: seen.append(s))
+            pub = harness.attach("P1")
+            harness.clients[0].subscribe_and_wait("*")
+            harness.settle()
+            pub.publish({"a1": 0, "a2": 0})
+            harness.settle()
+        assert seen == [1]
+
+
+class TestRestart:
+    def test_restart_broker_resyncs_and_routes(self):
+        with InMemoryBrokerHarness.for_chain(3, SCHEMA) as harness:
+            subscriber = harness.attach("S.B2.00")
+            pub = harness.attach("P1")
+            subscriber.subscribe_and_wait("a1=1")
+            harness.settle()
+            old_node = harness.nodes["B1"]
+            replacement = harness.restart_broker("B1")
+            assert replacement is not old_node
+            assert replacement.subscription_count == 1  # resynced
+            pub.publish({"a1": 1, "a2": 0})
+            harness.settle()
+            assert len(subscriber.received_events) == 1
+
+    def test_restart_with_persistent_logs(self, tmp_path):
+        with InMemoryBrokerHarness.for_chain(
+            2, SCHEMA, log_directory=str(tmp_path)
+        ) as harness:
+            subscriber = harness.attach("S.B1.00")
+            pub = harness.attach("P1")
+            subscriber.subscribe_and_wait("*")
+            harness.settle()
+            pub.publish({"a1": 0, "a2": 0})
+            harness.settle()
+            subscriber.drop_connection()
+            harness.settle()
+            pub.publish({"a1": 1, "a2": 1})
+            harness.settle()
+            harness.restart_broker("B1", log_directory=str(tmp_path))
+            subscriber.connect(resume=True)
+            harness.settle()
+            assert len(subscriber.received_events) == 2

@@ -1,0 +1,142 @@
+"""Unit tests for the topology model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network import Link, NodeKind, Topology
+
+
+class TestNodesAndLinks:
+    def test_add_broker(self):
+        topology = Topology()
+        node = topology.add_broker("B0")
+        assert node.kind is NodeKind.BROKER
+        assert "B0" in topology
+
+    def test_duplicate_node_rejected(self):
+        topology = Topology()
+        topology.add_broker("B0")
+        with pytest.raises(TopologyError):
+            topology.add_broker("B0")
+
+    def test_add_client_requires_broker(self):
+        topology = Topology()
+        with pytest.raises(TopologyError):
+            topology.add_client("c", "nope")
+
+    def test_client_kind_must_be_client(self):
+        topology = Topology()
+        topology.add_broker("B0")
+        with pytest.raises(TopologyError):
+            topology.add_client("c", "B0", kind=NodeKind.BROKER)
+
+    def test_self_link_rejected(self):
+        topology = Topology()
+        topology.add_broker("B0")
+        with pytest.raises(TopologyError):
+            topology.add_link("B0", "B0", latency_ms=1)
+
+    def test_duplicate_link_rejected_either_direction(self):
+        topology = Topology()
+        topology.add_broker("B0")
+        topology.add_broker("B1")
+        topology.add_link("B0", "B1", latency_ms=1)
+        with pytest.raises(TopologyError):
+            topology.add_link("B1", "B0", latency_ms=1)
+
+    def test_link_to_unknown_node(self):
+        topology = Topology()
+        topology.add_broker("B0")
+        with pytest.raises(TopologyError):
+            topology.add_link("B0", "B9", latency_ms=1)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(TopologyError):
+            Link("a", "b", -1.0)
+
+    def test_client_client_link_rejected(self):
+        topology = Topology()
+        topology.add_broker("B0")
+        topology.add_client("c0", "B0")
+        topology.add_client("c1", "B0")
+        with pytest.raises(TopologyError):
+            topology.add_link("c0", "c1", latency_ms=1)
+
+    def test_link_other(self):
+        link = Link("a", "b", 1.0)
+        assert link.other("a") == "b"
+        assert link.other("b") == "a"
+        with pytest.raises(TopologyError):
+            link.other("c")
+
+    def test_link_key_canonical(self):
+        assert Link("b", "a", 1.0).key() == ("a", "b")
+
+
+class TestQueries:
+    def test_roles(self, two_broker_topology):
+        assert two_broker_topology.brokers() == ["B0", "B1"]
+        assert two_broker_topology.subscribers() == ["c0", "c1"]
+        assert two_broker_topology.publishers() == ["P1"]
+        assert sorted(two_broker_topology.clients()) == ["P1", "c0", "c1"]
+
+    def test_neighbors_sorted(self, diamond_topology):
+        assert diamond_topology.neighbors("B0") == ["B1", "B2", "P1", "c.B0"]
+
+    def test_link_index_is_dense_and_stable(self, diamond_topology):
+        index = diamond_topology.link_index("B0")
+        assert sorted(index.values()) == list(range(len(index)))
+        assert index == diamond_topology.link_index("B0")
+
+    def test_degree(self, diamond_topology):
+        assert diamond_topology.degree("B3") == 4  # B1, B2, c.B3, P2
+
+    def test_broker_of(self, two_broker_topology):
+        assert two_broker_topology.broker_of("c1") == "B1"
+
+    def test_broker_of_rejects_broker(self, two_broker_topology):
+        with pytest.raises(TopologyError):
+            two_broker_topology.broker_of("B0")
+
+    def test_clients_of(self, two_broker_topology):
+        assert two_broker_topology.clients_of("B0") == ["P1", "c0"]
+
+    def test_broker_neighbors(self, diamond_topology):
+        assert diamond_topology.broker_neighbors("B0") == ["B1", "B2"]
+
+    def test_link_between(self, two_broker_topology):
+        link = two_broker_topology.link_between("B0", "B1")
+        assert link.latency_ms == 10.0
+        with pytest.raises(TopologyError):
+            two_broker_topology.link_between("B0", "c1")
+
+    def test_unknown_node_queries(self, two_broker_topology):
+        with pytest.raises(TopologyError):
+            two_broker_topology.node("zzz")
+        with pytest.raises(TopologyError):
+            two_broker_topology.neighbors("zzz")
+
+
+class TestValidation:
+    def test_connected(self, diamond_topology):
+        assert diamond_topology.is_connected()
+        diamond_topology.validate()
+
+    def test_disconnected_detected(self):
+        topology = Topology()
+        topology.add_broker("B0")
+        topology.add_broker("B1")
+        assert not topology.is_connected()
+        with pytest.raises(TopologyError):
+            topology.validate()
+
+    def test_empty_topology_has_no_brokers(self):
+        with pytest.raises(TopologyError):
+            Topology().validate()
+
+    def test_node_kind_is_client(self):
+        assert NodeKind.SUBSCRIBER.is_client
+        assert NodeKind.PUBLISHER.is_client
+        assert not NodeKind.BROKER.is_client

@@ -1,0 +1,238 @@
+"""Unit tests for workload specs and generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.workload import (
+    CHART1_SPEC,
+    CHART2_SPEC,
+    EventGenerator,
+    SubscriptionGenerator,
+    WorkloadSpec,
+    ZipfSampler,
+    figure6_region_of,
+    measure_selectivity,
+    rotated,
+)
+
+
+class TestZipfSampler:
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(list(range(5)))
+        total = sum(sampler.probability_of_rank(r) for r in range(1, 6))
+        assert abs(total - 1.0) < 1e-12
+
+    def test_rank_one_most_likely(self):
+        sampler = ZipfSampler(["hot", "warm", "cold"])
+        assert sampler.probability_of_rank(1) > sampler.probability_of_rank(2)
+        assert sampler.probability_of_rank(2) > sampler.probability_of_rank(3)
+
+    def test_empirical_frequencies_track_zipf(self):
+        sampler = ZipfSampler(list(range(5)), exponent=1.0)
+        rng = random.Random(7)
+        counts = [0] * 5
+        draws = 20_000
+        for _ in range(draws):
+            counts[sampler.sample(rng)] += 1
+        for rank in range(1, 6):
+            expected = sampler.probability_of_rank(rank)
+            observed = counts[rank - 1] / draws
+            assert abs(observed - expected) < 0.02
+
+    def test_exponent_zero_is_uniform(self):
+        sampler = ZipfSampler([0, 1], exponent=0.0)
+        assert abs(sampler.probability_of_rank(1) - 0.5) < 1e-12
+
+    def test_collision_probability(self):
+        sampler = ZipfSampler(list(range(5)))
+        by_hand = sum(sampler.probability_of_rank(r) ** 2 for r in range(1, 6))
+        assert abs(sampler.collision_probability - by_hand) < 1e-12
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(SimulationError):
+            ZipfSampler([])
+
+    def test_rotated(self):
+        assert rotated([1, 2, 3, 4], 1) == [2, 3, 4, 1]
+        assert rotated([1, 2, 3], 0) == [1, 2, 3]
+        assert rotated([1, 2, 3], 5) == [3, 1, 2]
+        assert rotated([], 3) == []
+
+
+class TestWorkloadSpec:
+    def test_chart1_parameters_match_paper(self):
+        assert CHART1_SPEC.num_attributes == 10
+        assert CHART1_SPEC.values_per_attribute == 5
+        assert CHART1_SPEC.factoring_levels == 2
+        assert CHART1_SPEC.first_non_star_probability == 0.98
+        assert CHART1_SPEC.non_star_decay == 0.85
+
+    def test_chart2_parameters_match_paper(self):
+        assert CHART2_SPEC.values_per_attribute == 3
+        assert CHART2_SPEC.factoring_levels == 3
+        assert CHART2_SPEC.non_star_decay == 0.82
+
+    def test_non_star_schedule_is_geometric(self):
+        spec = CHART1_SPEC
+        assert spec.non_star_probability(0) == pytest.approx(0.98)
+        assert spec.non_star_probability(1) == pytest.approx(0.98 * 0.85)
+        assert spec.non_star_probability(9) == pytest.approx(0.98 * 0.85**9)
+
+    def test_schema_and_domains(self):
+        spec = WorkloadSpec(num_attributes=4, values_per_attribute=3)
+        schema = spec.schema()
+        assert schema.names == ("a1", "a2", "a3", "a4")
+        assert spec.domains() == {name: [0, 1, 2] for name in schema.names}
+
+    def test_factoring_attributes_are_first(self):
+        assert CHART1_SPEC.factoring_attributes == ["a1", "a2"]
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(SimulationError):
+            WorkloadSpec(num_attributes=0)
+        with pytest.raises(SimulationError):
+            WorkloadSpec(factoring_levels=10, num_attributes=10)
+        with pytest.raises(SimulationError):
+            WorkloadSpec(first_non_star_probability=1.5)
+        with pytest.raises(SimulationError):
+            WorkloadSpec(non_star_decay=0.0)
+
+
+class TestRegionExtractor:
+    def test_figure6_names(self):
+        assert figure6_region_of("S.T2.L01.03") == 2
+        assert figure6_region_of("S.T0.R.00") == 0
+        assert figure6_region_of("P1") == 0  # no tree component -> region 0
+
+
+class TestSubscriptionGenerator:
+    def test_deterministic_per_seed(self):
+        a = SubscriptionGenerator(CHART1_SPEC, seed=5)
+        b = SubscriptionGenerator(CHART1_SPEC, seed=5)
+        assert [a.predicate_for("c").describe() for _ in range(10)] == [
+            b.predicate_for("c").describe() for _ in range(10)
+        ]
+
+    def test_first_attribute_almost_always_constrained(self):
+        generator = SubscriptionGenerator(CHART1_SPEC, seed=1)
+        predicates = [generator.predicate_for("c") for _ in range(500)]
+        constrained = sum(1 for p in predicates if not p.test_for("a1").is_dont_care)
+        assert constrained / 500 > 0.93
+
+    def test_last_attribute_rarely_constrained(self):
+        generator = SubscriptionGenerator(CHART1_SPEC, seed=1)
+        predicates = [generator.predicate_for("c") for _ in range(500)]
+        constrained = sum(1 for p in predicates if not p.test_for("a10").is_dont_care)
+        assert constrained / 500 < 0.45  # schedule says ~0.227
+
+    def test_round_robin_across_subscribers(self):
+        generator = SubscriptionGenerator(CHART1_SPEC, seed=1)
+        subscriptions = generator.subscriptions_for(["x", "y"], 5)
+        assert [s.subscriber for s in subscriptions] == ["x", "y", "x", "y", "x"]
+
+    def test_locality_changes_value_distribution(self):
+        spec = WorkloadSpec(values_per_attribute=6, locality_regions=3)
+        generator = SubscriptionGenerator(
+            spec, seed=2, region_of=lambda c: 0 if c == "west" else 2
+        )
+
+        def hot_values(subscriber):
+            counts = {}
+            for _ in range(400):
+                predicate = generator.predicate_for(subscriber)
+                test = predicate.test_for("a1")
+                if not test.is_dont_care:
+                    counts[test.value] = counts.get(test.value, 0) + 1
+            return max(counts, key=counts.get)
+
+        assert hot_values("west") != hot_values("east")
+
+    def test_requires_subscribers(self):
+        generator = SubscriptionGenerator(CHART1_SPEC)
+        with pytest.raises(SimulationError):
+            generator.subscriptions_for([], 5)
+
+
+class TestEventGenerator:
+    def test_events_validate_against_schema(self):
+        generator = EventGenerator(CHART1_SPEC, seed=3)
+        event = generator.event_for()
+        assert len(event.as_tuple()) == 10
+        assert all(0 <= v < 5 for v in event.as_tuple())
+
+    def test_factory_is_publisher_bound(self):
+        generator = EventGenerator(CHART1_SPEC, seed=3)
+        factory = generator.factory_for("P1")
+        event = factory(random.Random(0))
+        assert event.publisher == "P1"
+
+    def test_selectivity_in_papers_ballpark(self):
+        # Chart 1 parameters: "on average, each event matches only about
+        # 0.1% of subscriptions".  Without cross-region dilution our global
+        # measurement lands within an order of magnitude.
+        generator = SubscriptionGenerator(CHART1_SPEC, seed=4)
+        subscriptions = generator.subscriptions_for(["c"], 400)
+        event_generator = EventGenerator(CHART1_SPEC, seed=5)
+        events = [event_generator.event_for() for _ in range(60)]
+        selectivity = measure_selectivity(subscriptions, events)
+        assert 0.0001 < selectivity < 0.03
+
+    def test_selectivity_empty_inputs(self):
+        assert measure_selectivity([], []) == 0.0
+
+
+class TestRangeWorkloads:
+    def test_zero_probability_means_equality_only(self):
+        from repro.matching import RangeTest, IntervalTest
+
+        spec = WorkloadSpec(range_probability=0.0)
+        generator = SubscriptionGenerator(spec, seed=9)
+        for _ in range(100):
+            predicate = generator.predicate_for("c")
+            assert not any(
+                isinstance(test, (RangeTest, IntervalTest)) for test in predicate.tests
+            )
+
+    def test_full_probability_means_range_only(self):
+        from repro.matching import EqualityTest
+
+        spec = WorkloadSpec(range_probability=1.0)
+        generator = SubscriptionGenerator(spec, seed=9)
+        for _ in range(100):
+            predicate = generator.predicate_for("c")
+            assert not any(
+                isinstance(test, EqualityTest) for test in predicate.tests
+            )
+
+    def test_mixed_probability_produces_both(self):
+        from repro.matching import EqualityTest, RangeTest
+
+        spec = WorkloadSpec(range_probability=0.5)
+        generator = SubscriptionGenerator(spec, seed=9)
+        kinds = set()
+        for _ in range(200):
+            for test in generator.predicate_for("c").tests:
+                kinds.add(type(test).__name__)
+        assert {"EqualityTest", "RangeTest"} <= kinds
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(SimulationError):
+            WorkloadSpec(range_probability=1.5)
+
+    def test_range_predicates_match_events(self):
+        spec = WorkloadSpec(range_probability=1.0)
+        generator = SubscriptionGenerator(spec, seed=10)
+        events = EventGenerator(spec, seed=11)
+        subscriptions = generator.subscriptions_for(["c"], 200)
+        sample = [events.event_for() for _ in range(50)]
+        matched = sum(
+            1
+            for event in sample
+            for subscription in subscriptions
+            if subscription.predicate.matches(event)
+        )
+        assert matched > 0  # one-sided ranges are coarse; matches must occur
