@@ -1,0 +1,99 @@
+"""Head-to-head: object-graph PST (tree) vs array-kernel (compiled) engine.
+
+Builds identical Chart-1-spec subscription sets at several sizes and times
+``match()`` over a fixed event sample with both engines.  Both engines take
+exactly the same number of matching *steps* (the equivalence suite proves
+it); this script measures how much wall-clock time the compiled arrays save
+per step.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/compare_engines.py
+    PYTHONPATH=src python benchmarks/compare_engines.py --counts 1000 25000 --save
+
+``--save`` archives the table under ``benchmarks/results/compare_engines.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import time
+
+from repro.matching.engines import create_engine
+from repro.workload import CHART1_SPEC, EventGenerator, SubscriptionGenerator
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "compare_engines.txt"
+ENGINES = ("tree", "compiled")
+
+
+def build_engine(name, subscriptions):
+    spec = CHART1_SPEC
+    engine = create_engine(name, spec.schema(), domains=spec.domains())
+    for subscription in subscriptions:
+        engine.insert(subscription)
+    return engine
+
+
+def time_matches(engine, events, repeats):
+    """Average seconds per match (and avg steps, as a sanity column)."""
+    total_steps = 0
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        total_steps = 0
+        for event in events:
+            total_steps += engine.match(event).steps
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best / len(events), total_steps / len(events)
+
+
+def run(counts, num_events, repeats, seed):
+    spec = CHART1_SPEC
+    subscription_generator = SubscriptionGenerator(spec, seed=seed)
+    event_generator = EventGenerator(spec, seed=seed + 1)
+    events = [event_generator.event_for() for _ in range(num_events)]
+
+    header = f"{'subscriptions':>13} {'avg_steps':>9} {'tree_us':>9} {'compiled_us':>11} {'speedup':>8}"
+    lines = [header, "-" * len(header)]
+    for count in counts:
+        subscriptions = subscription_generator.subscriptions_for(["client"], count)
+        per_match = {}
+        steps = {}
+        for name in ENGINES:
+            engine = build_engine(name, subscriptions)
+            engine.match(events[0])  # warm up (compiled: force compilation)
+            per_match[name], steps[name] = time_matches(engine, events, repeats)
+        assert steps["tree"] == steps["compiled"], "engines disagree on steps"
+        speedup = per_match["tree"] / per_match["compiled"]
+        lines.append(
+            f"{count:>13} {steps['tree']:>9.1f} "
+            f"{per_match['tree'] * 1e6:>9.1f} {per_match['compiled'] * 1e6:>11.1f} "
+            f"{speedup:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--counts", type=int, nargs="+", default=[1000, 5000, 10000, 25000],
+        help="subscription counts to sweep (default: Chart 3's sweep)",
+    )
+    parser.add_argument("--events", type=int, default=200, help="events per timing run")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best kept)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--save", action="store_true", help=f"write table to {RESULTS_PATH}")
+    args = parser.parse_args(argv)
+
+    table = run(args.counts, args.events, args.repeats, args.seed)
+    print(table)
+    if args.save:
+        RESULTS_PATH.parent.mkdir(exist_ok=True)
+        RESULTS_PATH.write_text(table + "\n")
+        print(f"\nsaved to {RESULTS_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,16 +18,24 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.errors import SubscriptionError
 from repro.broker.codec import decode_event, encode_event
+from repro.matching.base import MatcherEngine
+from repro.matching.engines import DEFAULT_ENGINE, create_engine
 from repro.matching.events import Event
 from repro.matching.optimizations import FactoredMatcher
 from repro.matching.parser import parse_predicate
 from repro.matching.predicates import Predicate, Subscription
-from repro.matching.pst import MatchResult, ParallelSearchTree
+from repro.matching.pst import MatchResult
 from repro.matching.schema import AttributeValue, EventSchema
 
 
 class MatchingEngine:
-    """Subscription manager + event parser over one information space."""
+    """Subscription manager + event parser over one information space.
+
+    ``engine`` selects the matching implementation — ``"compiled"`` (the
+    default: array kernels from :mod:`repro.matching.compile`) or ``"tree"``
+    (the object-graph PST).  With ``factoring_attributes`` the matcher is a
+    :class:`FactoredMatcher` whose sub-trees are searched with the selected
+    engine."""
 
     def __init__(
         self,
@@ -36,12 +44,14 @@ class MatchingEngine:
         attribute_order: Optional[Sequence[str]] = None,
         domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
         factoring_attributes: Optional[Sequence[str]] = None,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         self.schema = schema
+        self.engine = engine
         if factoring_attributes:
             if domains is None:
                 raise SubscriptionError("factoring requires finite attribute domains")
-            self.matcher: Union[ParallelSearchTree, FactoredMatcher] = FactoredMatcher(
+            self.matcher: Union[MatcherEngine, FactoredMatcher] = FactoredMatcher(
                 schema,
                 factoring_attributes,
                 domains,
@@ -50,10 +60,11 @@ class MatchingEngine:
                     if attribute_order is not None
                     else None
                 ),
+                engine=engine,
             )
         else:
-            self.matcher = ParallelSearchTree(
-                schema, attribute_order=attribute_order, domains=domains
+            self.matcher = create_engine(
+                engine, schema, attribute_order=attribute_order, domains=domains
             )
 
     # ------------------------------------------------------------------

@@ -58,6 +58,7 @@ class BrokerNetworkConfig:
         attribute_order: Optional[Sequence[str]] = None,
         domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
         factoring_attributes: Optional[Sequence[str]] = None,
+        engine: str = "compiled",
     ) -> None:
         topology.validate()
         if not topology.publishers():
@@ -67,6 +68,7 @@ class BrokerNetworkConfig:
         self.attribute_order = attribute_order
         self.domains = domains
         self.factoring_attributes = factoring_attributes
+        self.engine = engine
         self.routing_tables: Dict[str, RoutingTable] = all_routing_tables(topology)
         self.spanning_trees: Dict[str, SpanningTree] = spanning_trees_for_publishers(topology)
 
@@ -126,6 +128,7 @@ class BrokerNode:
             attribute_order=config.attribute_order,
             domains=config.domains,
             factoring_attributes=config.factoring_attributes,
+            engine=config.engine,
         )
         #: When set, per-client event logs are persisted under this
         #: directory (one subdirectory per broker), so reliable redelivery

@@ -56,6 +56,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run at the paper's full parameters (slow)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("tree", "compiled"),
+        default="compiled",
+        help="matching engine: array kernels (compiled, default) or the "
+        "object-graph PST (tree)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     chart1 = commands.add_parser("chart1", help="saturation points (flooding vs link matching)")
@@ -97,6 +104,7 @@ def _run_chart1(args: argparse.Namespace) -> None:
         subscribers_per_broker=10 if args.paper_scale else 3,
         probe_duration_s=args.probe_duration or (0.5 if args.paper_scale else 0.4),
         include_match_first=args.match_first,
+        engine=args.engine,
     )
     table = run_chart1(config)
     print(table.format())
@@ -118,6 +126,7 @@ def _run_chart2(args: argparse.Namespace) -> None:
         else ((2000, 4000, 6000, 8000, 10000) if args.paper_scale else Chart2Config().subscription_counts),
         num_events=args.events or (1000 if args.paper_scale else 120),
         subscribers_per_broker=10 if args.paper_scale else 3,
+        engine=args.engine,
     )
     table = run_chart2(config)
     print(table.format())
@@ -137,6 +146,7 @@ def _run_chart3(args: argparse.Namespace) -> None:
         if args.subscriptions
         else ((1000, 5000, 10000, 25000) if args.paper_scale else Chart3Config().subscription_counts),
         num_events=args.events or (300 if args.paper_scale else 150),
+        engine=args.engine,
     )
     table = run_chart3(config)
     print(table.format())
@@ -154,6 +164,7 @@ def _run_throughput(args: argparse.Namespace) -> None:
     config = ThroughputConfig(
         subscription_counts=(10, 100, 1000, 5000) if args.paper_scale else (10, 100, 1000),
         num_events=4000 if args.paper_scale else 1500,
+        engine=args.engine,
     )
     print(run_throughput(config).format())
 
@@ -167,6 +178,7 @@ def _run_bursty(args: argparse.Namespace) -> None:
         if args.burstiness
         else (1.0, 2.0, 5.0, 10.0),
         duration_s=2.0 if args.paper_scale else 0.8,
+        engine=args.engine,
     )
     print(run_bursty(config).format())
 
@@ -245,7 +257,7 @@ def _run_demo(args: argparse.Namespace) -> None:
     topology.add_client("alice", "NY")
     topology.add_client("bob", "TOKYO")
     topology.add_client("ticker", "NY", kind=NodeKind.PUBLISHER)
-    network = ContentRoutedNetwork(topology, stock_trade_schema())
+    network = ContentRoutedNetwork(topology, stock_trade_schema(), engine=args.engine)
     network.subscribe("alice", "issue='IBM' & price<120 & volume>1000")
     network.subscribe("bob", "volume>50000")
     for values in (

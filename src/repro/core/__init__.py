@@ -10,13 +10,20 @@ from repro.core.router import ContentRouter, RouteDecision
 from repro.core.trits import (
     M,
     N,
+    PackedTrits,
     Trit,
     TritVector,
     Y,
     alternative_combine,
     alternative_combine_all,
+    alternative_combine_bits,
+    import_yes_bits,
+    pack_tritvector,
     parallel_combine,
     parallel_combine_all,
+    parallel_combine_bits,
+    refine_bits,
+    unpack_tritvector,
 )
 
 __all__ = [
@@ -27,6 +34,7 @@ __all__ = [
     "LinkMatcher",
     "M",
     "N",
+    "PackedTrits",
     "RouteDecision",
     "TreeAnnotation",
     "Trit",
@@ -36,6 +44,12 @@ __all__ = [
     "Y",
     "alternative_combine",
     "alternative_combine_all",
+    "alternative_combine_bits",
+    "import_yes_bits",
+    "pack_tritvector",
     "parallel_combine",
     "parallel_combine_all",
+    "parallel_combine_bits",
+    "refine_bits",
+    "unpack_tritvector",
 ]

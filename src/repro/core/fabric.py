@@ -139,6 +139,7 @@ class ContentRoutedNetwork:
         attribute_order: Optional[Sequence[str]] = None,
         domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
         factoring_attributes: Optional[Sequence[str]] = None,
+        engine: str = "compiled",
     ) -> None:
         topology.validate()
         if not topology.publishers():
@@ -157,6 +158,7 @@ class ContentRoutedNetwork:
                 attribute_order=attribute_order,
                 domains=domains,
                 factoring_attributes=factoring_attributes,
+                engine=engine,
             )
             for broker in topology.brokers()
         }

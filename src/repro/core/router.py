@@ -4,12 +4,14 @@ Per the paper, "each broker in the network has a copy of all the
 subscriptions, organized into a PST" (Section 3.1).  A :class:`ContentRouter`
 is that per-broker state:
 
-* the broker's matcher (a plain :class:`ParallelSearchTree` or a
+* the broker's matcher (a :class:`~repro.matching.base.MatcherEngine` — tree
+  or compiled, selected by the ``engine`` parameter — or a
   :class:`FactoredMatcher` when factoring is enabled),
 * its :class:`VirtualLinkTable` (virtual links + one initialization mask per
   spanning tree),
-* the trit-vector annotations of the matcher's tree(s), recomputed lazily
-  after subscription changes,
+* the trit-vector annotations of the matcher's tree(s) — maintained
+  incrementally inside the engine on the non-factored path, recomputed
+  lazily per sub-tree on the factored path,
 * :meth:`route` — run the Section 3.3 refinement for an event arriving on a
   given spanning tree and return the neighbors to forward to.
 
@@ -26,10 +28,12 @@ from repro.errors import RoutingError
 from repro.core.annotation import TreeAnnotation
 from repro.core.link_matcher import LinkMatcher, LinkMatchResult
 from repro.core.masks import VirtualLinkTable
-from repro.core.trits import TritVector
+from repro.core.trits import TritVector, pack_tritvector, unpack_tritvector
+from repro.matching.base import MatcherEngine
+from repro.matching.compile import CompiledProgram, compile_tree
 from repro.matching.events import Event
 from repro.matching.optimizations import FactoredMatcher
-from repro.matching.pst import MatchResult, ParallelSearchTree
+from repro.matching.pst import MatchResult
 from repro.matching.predicates import Subscription
 from repro.matching.schema import AttributeValue, EventSchema
 from repro.network.paths import RoutingTable
@@ -79,10 +83,12 @@ class ContentRouter:
         attribute_order: Optional[Sequence[str]] = None,
         domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
         factoring_attributes: Optional[Sequence[str]] = None,
+        engine: str = "compiled",
     ) -> None:
         self.topology = topology
         self.broker = broker
         self.schema = schema
+        self.engine = engine
         # Declared domains are a *contract*: annotation treats them as the
         # exhaustive value universe (that is what lets a covered level
         # promote to Yes, and what makes range annotations precise), so
@@ -94,7 +100,7 @@ class ContentRouter:
         )
         self.links = VirtualLinkTable(topology, broker, routing_table, spanning_trees)
         self._factored: Optional[FactoredMatcher] = None
-        self._tree: Optional[ParallelSearchTree] = None
+        self._engine: Optional[MatcherEngine] = None
         if factoring_attributes:
             if domains is None:
                 raise RoutingError("factoring requires finite attribute domains")
@@ -107,53 +113,49 @@ class ContentRouter:
                     if attribute_order is not None
                     else None
                 ),
+                engine=engine,
             )
         else:
-            self._tree = ParallelSearchTree(
-                schema, attribute_order=attribute_order, domains=domains
+            # Imported here rather than at module scope: repro.matching.engines
+            # imports repro.core submodules, so a module-level import would
+            # cycle when repro.matching.engines is the entry point.
+            from repro.matching.engines import create_engine
+
+            self._engine = create_engine(
+                engine, schema, attribute_order=attribute_order, domains=domains
             )
+            self._engine.bind_links(self.links.num_links, self._link_of_subscriber)
+        # Per-sub-tree link-matching state for the factored matcher; the
+        # non-factored path keeps its annotations inside the engine instead.
         self._annotations: Dict[int, Tuple[TreeAnnotation, LinkMatcher]] = {}
+        self._programs: Dict[int, CompiledProgram] = {}
         self._dirty = True
 
     # ------------------------------------------------------------------
     # Subscription maintenance
 
     @property
-    def matcher(self) -> Union[ParallelSearchTree, FactoredMatcher]:
+    def matcher(self) -> Union[MatcherEngine, FactoredMatcher]:
         """The underlying matcher (useful for inspection and local matching)."""
-        return self._factored if self._factored is not None else self._tree
+        return self._factored if self._factored is not None else self._engine
 
     def add_subscription(self, subscription: Subscription) -> None:
         """Register a subscription (its ``subscriber`` must be a client).
 
-        When the router is already annotated (plain-tree matcher), the
-        annotation is updated incrementally along the subscription's path
-        instead of recomputing the whole tree.
+        The non-factored engine keeps its own annotations fresh incrementally
+        along the subscription's path; only the factored matcher needs a full
+        refresh (its trees restructure on the next compaction).
         """
         self.links.position_of(subscription.subscriber)  # validates early
         self.matcher.insert(subscription)
-        if not self._update_annotations_incrementally(subscription):
+        if self._factored is not None:
             self._dirty = True
 
     def remove_subscription(self, subscription_id: int) -> Subscription:
         subscription = self.matcher.remove(subscription_id)
-        if not self._update_annotations_incrementally(subscription):
+        if self._factored is not None:
             self._dirty = True
         return subscription
-
-    def _update_annotations_incrementally(self, subscription: Subscription) -> bool:
-        """Patch the annotation along one subscription's path.  Only valid
-        for the plain-tree matcher (the factored matcher compacts its trees
-        on the next route, which restructures them) and only when a current
-        full annotation exists."""
-        if self._factored is not None or self._dirty or self._tree is None:
-            return False
-        pair = self._annotations.get(id(self._tree))
-        if pair is None:
-            return False
-        annotation, _link_matcher = pair
-        annotation.update_path(self._tree, subscription.predicate)
-        return True
 
     @property
     def subscription_count(self) -> int:
@@ -163,18 +165,22 @@ class ContentRouter:
         return self.links.position_of(subscription.subscriber)
 
     def _refresh_annotations(self) -> None:
+        """Rebuild link-matching state for every factored sub-tree — either
+        annotated compiled programs or (TreeAnnotation, LinkMatcher) pairs,
+        depending on the engine."""
+        assert self._factored is not None
         self._annotations.clear()
-        for tree in self._trees_to_annotate():
-            annotation = TreeAnnotation(self.links.num_links, self._link_of_subscriber)
-            annotation.annotate(tree)
-            self._annotations[id(tree)] = (annotation, LinkMatcher(tree, annotation))
+        self._programs.clear()
+        for _key, tree in self._factored.trees():
+            if self.engine == "compiled":
+                program = compile_tree(tree)
+                program.annotate(self.links.num_links, self._link_of_subscriber)
+                self._programs[id(tree)] = program
+            else:
+                annotation = TreeAnnotation(self.links.num_links, self._link_of_subscriber)
+                annotation.annotate(tree)
+                self._annotations[id(tree)] = (annotation, LinkMatcher(tree, annotation))
         self._dirty = False
-
-    def _trees_to_annotate(self) -> List[ParallelSearchTree]:
-        if self._factored is not None:
-            return [tree for _key, tree in self._factored.trees()]
-        assert self._tree is not None
-        return [self._tree]
 
     # ------------------------------------------------------------------
     # Routing
@@ -188,19 +194,31 @@ class ContentRouter:
         out-of-domain value could be routed unsoundly.
         """
         self._check_domains(event)
-        if self._factored is not None:
-            self._factored.compact()
-        if self._dirty:
-            self._refresh_annotations()
         mask = self.links.initialization_mask(tree_root)
-        tree = self._tree_for_event(event)
-        if tree is None:
-            final = LinkMatchResult(mask.close_maybes(), 1)
+        if self._factored is None:
+            assert self._engine is not None
+            final = self._engine.match_links(event, mask)
         else:
-            annotation_pair = self._annotations.get(id(tree))
-            if annotation_pair is None:
-                raise RoutingError("matcher tree appeared after annotation refresh")
-            final = annotation_pair[1].match_links(event, mask)
+            self._factored.compact()
+            if self._dirty:
+                self._refresh_annotations()
+            tree = self._factored.tree_for_event(event)
+            if tree is None:
+                final = LinkMatchResult(mask.close_maybes(), 1)
+            elif self.engine == "compiled":
+                program = self._programs.get(id(tree))
+                if program is None:
+                    raise RoutingError("matcher tree appeared after annotation refresh")
+                yes_bits, maybe_bits = pack_tritvector(mask)
+                final_yes, steps = program.match_links(event, yes_bits, maybe_bits)
+                final = LinkMatchResult(
+                    unpack_tritvector(final_yes, 0, self.links.num_links), steps
+                )
+            else:
+                annotation_pair = self._annotations.get(id(tree))
+                if annotation_pair is None:
+                    raise RoutingError("matcher tree appeared after annotation refresh")
+                final = annotation_pair[1].match_links(event, mask)
         neighbors = self.links.neighbors_for_mask(final.mask)
         forward_to: List[str] = []
         deliver_to: List[str] = []
@@ -222,11 +240,6 @@ class ContentRouter:
                     f"the declared domain — routed events must honor declared "
                     f"domains (they are treated as exhaustive)"
                 )
-
-    def _tree_for_event(self, event: Event) -> Optional[ParallelSearchTree]:
-        if self._factored is not None:
-            return self._factored.tree_for_event(event)
-        return self._tree
 
     def match_locally(self, event: Event) -> MatchResult:
         """Full (non-trit) matching against the broker's subscription copy —

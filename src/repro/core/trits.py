@@ -203,3 +203,75 @@ def parallel_combine_all(vectors: Sequence[TritVector], length: int) -> TritVect
     for vector in vectors:
         result = result.parallel(vector)
     return result
+
+
+# ----------------------------------------------------------------------
+# Packed trit vectors — the bitmask encoding used by the compiled matcher.
+#
+# A trit vector of length n is encoded as two non-negative ints
+# ``(yes_bits, maybe_bits)``: bit i of ``yes_bits`` set means trit i is Yes,
+# bit i of ``maybe_bits`` set means Maybe, neither set means No.  The two
+# masks never overlap.  All combine operators become a handful of machine
+# word operations (arbitrary-precision for n > 64, courtesy of Python ints),
+# which is what makes :mod:`repro.matching.compile` kernels allocation-free.
+
+PackedTrits = Tuple[int, int]
+
+
+def pack_tritvector(vector: Iterable[Trit]) -> PackedTrits:
+    """Encode a trit vector (or any iterable of trits) as ``(yes, maybe)``."""
+    yes = 0
+    maybe = 0
+    for i, trit in enumerate(vector):
+        if trit is Y:
+            yes |= 1 << i
+        elif trit is M:
+            maybe |= 1 << i
+        elif trit is not N:
+            raise TypeError(f"not a trit: {trit!r}")
+    return yes, maybe
+
+
+def unpack_tritvector(yes_bits: int, maybe_bits: int, length: int) -> TritVector:
+    """Decode ``(yes, maybe)`` back into a :class:`TritVector` of ``length``."""
+    if yes_bits < 0 or maybe_bits < 0:
+        raise ValueError("packed trit masks must be non-negative")
+    if yes_bits & maybe_bits:
+        raise ValueError("packed trit masks overlap: a trit cannot be Yes and Maybe")
+    if (yes_bits | maybe_bits) >> length:
+        raise ValueError(f"packed trit masks have bits beyond length {length}")
+    return TritVector(
+        Y if yes_bits >> i & 1 else (M if maybe_bits >> i & 1 else N)
+        for i in range(length)
+    )
+
+
+def parallel_combine_bits(
+    a_yes: int, a_maybe: int, b_yes: int, b_maybe: int
+) -> PackedTrits:
+    """Packed element-wise Parallel Combine (Y > M > N)."""
+    yes = a_yes | b_yes
+    return yes, (a_maybe | b_maybe) & ~yes
+
+
+def alternative_combine_bits(
+    a_yes: int, a_maybe: int, b_yes: int, b_maybe: int, full: int
+) -> PackedTrits:
+    """Packed element-wise Alternative Combine (agreement kept, else M).
+
+    ``full`` is the all-ones mask ``(1 << length) - 1``; it is needed because
+    "both No" can only be recognized relative to the vector length.
+    """
+    yes = a_yes & b_yes
+    no = (full & ~(a_yes | a_maybe)) & (full & ~(b_yes | b_maybe))
+    return yes, full & ~(yes | no)
+
+
+def refine_bits(m_yes: int, m_maybe: int, a_yes: int, a_maybe: int) -> PackedTrits:
+    """Packed Section 3.3 step 2: Maybe positions take the annotation's trit."""
+    return m_yes | (m_maybe & a_yes), m_maybe & a_maybe
+
+
+def import_yes_bits(m_yes: int, m_maybe: int, returned_yes: int) -> PackedTrits:
+    """Packed Section 3.3 step 3: Maybes become Yes where a subsearch said Yes."""
+    return m_yes | (m_maybe & returned_yes), m_maybe & ~returned_yes

@@ -39,6 +39,7 @@ class BurstyConfig:
     duration_s: float = 1.0
     on_mean_s: float = 0.05
     seed: int = 0
+    engine: str = "compiled"
 
 
 def run_bursty(config: BurstyConfig = BurstyConfig()) -> ExperimentTable:
@@ -66,6 +67,7 @@ def run_bursty(config: BurstyConfig = BurstyConfig()) -> ExperimentTable:
         subscriptions,
         domains=spec.domains(),
         factoring_attributes=spec.factoring_attributes,
+        engine=config.engine,
     )
     protocol = LinkMatchingProtocol(context)
     publishers = topology.publishers()

@@ -52,6 +52,7 @@ class Chart1Config:
     max_rate: float = 5e5
     seed: int = 0
     include_match_first: bool = False
+    engine: str = "compiled"
 
 
 def _protocols(context: ProtocolContext, config: Chart1Config) -> List[RoutingProtocol]:
@@ -121,6 +122,7 @@ def run_chart1(config: Chart1Config = Chart1Config()) -> ExperimentTable:
             subscriptions,
             domains=spec.domains(),
             factoring_attributes=spec.factoring_attributes,
+            engine=config.engine,
         )
         for protocol in _protocols(context, config):
             result = saturation_for(topology, protocol, events, config)

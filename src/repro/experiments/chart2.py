@@ -46,6 +46,7 @@ class Chart2Config:
     max_hops: int = 6
     seed: int = 0
     use_factoring: bool = True
+    engine: str = "compiled"
 
 
 @dataclass
@@ -119,6 +120,7 @@ def run_chart2(config: Chart2Config = Chart2Config()) -> ExperimentTable:
             factoring_attributes=(
                 spec.factoring_attributes if config.use_factoring else None
             ),
+            engine=config.engine,
         )
         for subscription in subscriptions:
             network.subscribe(subscription.subscriber, subscription.predicate)

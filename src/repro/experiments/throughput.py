@@ -37,6 +37,7 @@ class ThroughputConfig:
     num_subscriber_clients: int = 10
     num_events: int = 2000
     seed: int = 0
+    engine: str = "compiled"
 
 
 def _single_broker_topology(num_subscribers: int) -> Topology:
@@ -68,6 +69,7 @@ def run_throughput(config: ThroughputConfig = ThroughputConfig()) -> ExperimentT
             spec.schema(),
             domains=spec.domains(),
             factoring_attributes=spec.factoring_attributes,
+            engine=config.engine,
         )
         transport = InMemoryTransport()
         node = BrokerNode(broker_config, "B0", transport, {"B0": "mem://B0"})
@@ -101,9 +103,12 @@ def run_throughput(config: ThroughputConfig = ThroughputConfig()) -> ExperimentT
             spec.schema(),
             domains=spec.domains(),
             factoring_attributes=spec.factoring_attributes,
+            engine=config.engine,
         )
         for subscription in node.router.matcher.subscriptions:
             engine.matcher.insert(subscription)
+        for event in sample:
+            engine.match(event)  # steady state: compaction + program lowering
         match_start = time.perf_counter()
         for event in sample:
             engine.match(event)

@@ -1,7 +1,8 @@
 """Content-based matching: schemas, events, predicates, and the Parallel
 Search Tree of Section 2 of the paper (plus its optimizations)."""
 
-from repro.matching.base import Matcher
+from repro.matching.base import Matcher, MatcherEngine
+from repro.matching.compile import CompiledProgram, compile_tree
 from repro.matching.events import Event
 from repro.matching.optimizations import OUT_OF_DOMAIN, DagNode, FactoredMatcher, SearchDag
 from repro.matching.ordering import (
@@ -36,14 +37,39 @@ from repro.matching.schema import (
     uniform_schema,
 )
 
+# The engine implementations live in repro.matching.engines, which depends on
+# repro.core (annotations, link matching).  Importing them eagerly here would
+# create an import cycle (repro.core.annotation imports repro.matching.pst,
+# which initializes this package), so they are exposed lazily instead.
+_ENGINE_EXPORTS = (
+    "CompiledEngine",
+    "DEFAULT_ENGINE",
+    "ENGINE_NAMES",
+    "TreeEngine",
+    "create_engine",
+)
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_EXPORTS:
+        from repro.matching import engines
+
+        return getattr(engines, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Attribute",
     "AttributeTest",
     "AttributeType",
     "AttributeValue",
+    "CompiledEngine",
+    "CompiledProgram",
+    "DEFAULT_ENGINE",
     "DONT_CARE",
     "DagNode",
     "DontCare",
+    "ENGINE_NAMES",
     "EqualityTest",
     "Event",
     "EventSchema",
@@ -52,7 +78,11 @@ __all__ = [
     "IntervalTest",
     "MatchResult",
     "Matcher",
+    "MatcherEngine",
     "OUT_OF_DOMAIN",
+    "TreeEngine",
+    "compile_tree",
+    "create_engine",
     "ParallelSearchTree",
     "PSTNode",
     "Predicate",

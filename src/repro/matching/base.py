@@ -10,11 +10,16 @@ and gives a single place to explain the semantics.
 from __future__ import annotations
 
 import abc
-from typing import List
+from typing import TYPE_CHECKING, List
 
 from repro.matching.events import Event
 from repro.matching.pst import MatchResult
 from repro.matching.predicates import Subscription
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.core
+    from repro.core.annotation import LinkOfSubscriber
+    from repro.core.link_matcher import LinkMatchResult
+    from repro.core.trits import TritVector
 
 
 class Matcher(abc.ABC):
@@ -46,6 +51,48 @@ class Matcher(abc.ABC):
     @abc.abstractmethod
     def subscriptions(self) -> List[Subscription]:
         """The registered subscriptions (order unspecified)."""
+
+
+class MatcherEngine(Matcher):
+    """A :class:`Matcher` that can additionally run the Section 3.3
+    link-matching refinement — the full per-broker matching surface.
+
+    Two interchangeable implementations exist (see
+    :mod:`repro.matching.engines`):
+
+    * ``TreeEngine`` — the object-graph code paths
+      (:class:`~repro.matching.pst.ParallelSearchTree` +
+      :class:`~repro.core.annotation.TreeAnnotation` +
+      :class:`~repro.core.link_matcher.LinkMatcher`);
+    * ``CompiledEngine`` — the array-based kernels of
+      :mod:`repro.matching.compile`.
+
+    Both preserve exact match sets and step counts; consumers (router,
+    fabric, protocols, broker engine) select one by name via
+    :func:`repro.matching.engines.create_engine`.
+
+    Link matching is optional state: :meth:`bind_links` declares the
+    broker's virtual-link geometry; :meth:`match_links` then refines an
+    initialization mask for an event.  Engines maintain their annotations
+    incrementally across :meth:`insert` / :meth:`remove`.
+    """
+
+    #: The engine's registry name ("tree" / "compiled").
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def bind_links(
+        self, num_links: int, link_of_subscriber: "LinkOfSubscriber"
+    ) -> None:
+        """Declare the number of (virtual) links and the subscription-to-link
+        mapping; invalidates any previously computed annotations."""
+
+    @abc.abstractmethod
+    def match_links(
+        self, event: Event, initialization_mask: "TritVector"
+    ) -> "LinkMatchResult":
+        """Run the Section 3.3 refinement search; requires a prior
+        :meth:`bind_links`."""
 
 
 # The concrete matchers satisfy the interface structurally; register them so

@@ -1,0 +1,637 @@
+"""Lowering a Parallel Search Tree into flat array-based matching kernels.
+
+The object-graph matcher (:class:`~repro.matching.pst.ParallelSearchTree` +
+:class:`~repro.core.annotation.TreeAnnotation` +
+:class:`~repro.core.link_matcher.LinkMatcher`) walks ``PSTNode`` instances and
+allocates a fresh immutable :class:`~repro.core.trits.TritVector` per
+refinement step.  That is the hottest path of the whole reproduction — every
+broker runs it for every event — so this module *compiles* a built tree into
+a :class:`CompiledProgram`: a set of flat parallel arrays indexed by node
+number, over which two iterative (explicit-stack, no recursion, no
+per-visit allocation) kernels run:
+
+* :meth:`CompiledProgram.match` — the Section 2 parallel search;
+* :meth:`CompiledProgram.match_links` — the Section 3.3 refinement search,
+  with trit masks packed as two integer bitmasks (``yes_bits``/``maybe_bits``)
+  per :mod:`repro.core.trits`.
+
+Array layout (one slot per node, node 0 is always the root):
+
+========================  ====================================================
+``event_pos[n]``          schema position of the attribute node ``n`` tests,
+                          or ``-1`` for a leaf (doubles as the node-kind flag)
+``level[n]``              the tree level (``PSTNode.attribute_position``)
+``value_tables[n]``       dict mapping *interned value ids* to child indices,
+                          or ``None`` when the node has no value branches
+``range_start/end[n]``    CSR slice of ``range_tests``/``range_children``
+``star[n]``               child index of the ``*``-branch, ``-1`` when absent
+``sub_start/end[n]``      CSR slice of ``subs_flat`` (leaf subscriptions)
+``ann_yes/ann_maybe[n]``  the node's trit annotation, packed
+========================  ====================================================
+
+Attribute values are interned once into ``value_ids`` (a plain dict, so
+``1``/``1.0``/``True`` collapse exactly as they do as PST hash-branch keys);
+a match then interns the event's values once and performs int-keyed lookups.
+
+Both kernels intentionally visit nodes in the same order and count the same
+``steps`` as the object-graph implementations, so the paper's step-count
+charts (Chart 2) are bit-for-bit unchanged; only wall-clock time improves.
+
+**Incremental recompilation.**  Subscription churn does not force a full
+rebuild: :meth:`CompiledProgram.patch` re-lowers only the root-to-leaf path
+selected by the changed predicate (the same walk as
+``TreeAnnotation.update_path``), appending new CSR slices at the array ends
+and repointing the slice bounds.  Superseded slices become garbage; when the
+accumulated waste outgrows the live structure, ``patch`` refuses and the
+owning engine performs a fresh :func:`compile_tree`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import RoutingError, SubscriptionError
+from repro.core.trits import (
+    alternative_combine_bits,
+    parallel_combine_bits,
+)
+from repro.matching.events import Event
+from repro.matching.predicates import (
+    AttributeTest,
+    EqualityTest,
+    Predicate,
+    Subscription,
+)
+from repro.matching.pst import MatchResult, ParallelSearchTree, PSTNode
+from repro.matching.schema import AttributeValue
+
+#: Maps a subscription to the broker-local (virtual) link position through
+#: which its subscriber is best reached (same contract as TreeAnnotation's).
+LinkOfSubscriber = Callable[[Subscription], int]
+
+
+class CompiledProgram:
+    """The flat, kernel-ready form of one Parallel Search Tree.
+
+    Build with :func:`compile_tree`; rebuild or :meth:`patch` after the
+    source tree changes.  Link annotations are attached separately with
+    :meth:`annotate` (matching alone never needs them).
+    """
+
+    __slots__ = (
+        "schema",
+        "attribute_order",
+        "_positions",
+        "_domain_sorted",
+        # node arrays
+        "event_pos",
+        "level",
+        "value_tables",
+        "range_start",
+        "range_end",
+        "star",
+        "sub_start",
+        "sub_end",
+        "ann_yes",
+        "ann_maybe",
+        # flat pools
+        "range_tests",
+        "range_children",
+        "subs_flat",
+        # fused per-node view for the kernels
+        "_records",
+        # interning / bookkeeping
+        "value_ids",
+        "index_of_node",
+        "num_links",
+        "_link_of_subscriber",
+        "_waste",
+    )
+
+    def __init__(self, tree: ParallelSearchTree) -> None:
+        self.schema = tree.schema
+        self.attribute_order = tree.attribute_order
+        self._positions: Tuple[int, ...] = tuple(
+            tree.schema.position_of(name) for name in tree.attribute_order
+        )
+        self._domain_sorted: List[Optional[List[AttributeValue]]] = [
+            (sorted(domain, key=repr) if domain is not None else None)
+            for domain in (
+                tree.domain_of(position) for position in range(len(self._positions))
+            )
+        ]
+        self.event_pos: List[int] = []
+        self.level: List[int] = []
+        self.value_tables: List[Optional[Dict[int, int]]] = []
+        self.range_start: List[int] = []
+        self.range_end: List[int] = []
+        self.star: List[int] = []
+        self.sub_start: List[int] = []
+        self.sub_end: List[int] = []
+        self.ann_yes: List[int] = []
+        self.ann_maybe: List[int] = []
+        self.range_tests: List[AttributeTest] = []
+        self.range_children: List[int] = []
+        self.subs_flat: List[Subscription] = []
+        self._records: List[tuple] = []
+        self.value_ids: Dict[AttributeValue, int] = {}
+        self.index_of_node: Dict[int, int] = {}
+        self.num_links: Optional[int] = None
+        self._link_of_subscriber: Optional[LinkOfSubscriber] = None
+        self._waste = 0
+        self._ensure_index(tree.root)
+
+    # ------------------------------------------------------------------
+    # Lowering
+
+    def _intern(self, value: AttributeValue) -> int:
+        value_id = self.value_ids.get(value)
+        if value_id is None:
+            value_id = len(self.value_ids)
+            self.value_ids[value] = value_id
+        return value_id
+
+    def _ensure_index(self, node: PSTNode) -> int:
+        """Index of ``node`` in the arrays, lowering it (and any children not
+        yet lowered) on first sight.  Indices are stable once assigned."""
+        index = self.index_of_node.get(node.node_id)
+        if index is not None:
+            return index
+        index = len(self.event_pos)
+        self.index_of_node[node.node_id] = index
+        # Reserve the slot before descending so children see a stable parent.
+        self.event_pos.append(-1)
+        self.level.append(-1)
+        self.value_tables.append(None)
+        self.range_start.append(0)
+        self.range_end.append(0)
+        self.star.append(-1)
+        self.sub_start.append(0)
+        self.sub_end.append(0)
+        self.ann_yes.append(0)
+        self.ann_maybe.append(0)
+        self._records.append(())
+        if node.is_leaf:
+            self._write_leaf_subs(index, node)
+            self._refresh_record(index)
+            return index
+        self.event_pos[index] = self._positions[node.attribute_position]
+        self.level[index] = node.attribute_position
+        if node.value_branches:
+            self.value_tables[index] = {
+                self._intern(value): self._ensure_index(child)
+                for value, child in node.value_branches.items()
+            }
+        if node.range_branches:
+            self._write_range_slice(index, node)
+        if node.star_child is not None:
+            self.star[index] = self._ensure_index(node.star_child)
+        self._refresh_record(index)
+        return index
+
+    def _refresh_record(self, index: int) -> None:
+        """Rebuild the fused kernel record of node ``index`` from the arrays.
+
+        The kernels read one tuple per visit —
+        ``(event_position, value_table, range_pairs, star_child, leaf_subs)``
+        — instead of indexing five parallel arrays; a record is just a view
+        (the value table is the *same* dict object as ``value_tables[n]``)
+        and must be refreshed whenever the node's slices or star change.
+        """
+        position = self.event_pos[index]
+        if position < 0:
+            subs = self.subs_flat[self.sub_start[index] : self.sub_end[index]]
+            self._records[index] = (-1, None, None, -1, subs or None)
+            return
+        begin, end = self.range_start[index], self.range_end[index]
+        ranges = (
+            tuple(
+                (self.range_tests[j], self.range_children[j]) for j in range(begin, end)
+            )
+            if begin != end
+            else None
+        )
+        self._records[index] = (
+            position,
+            self.value_tables[index],
+            ranges,
+            self.star[index],
+            None,
+        )
+
+    def _write_leaf_subs(self, index: int, node: PSTNode) -> None:
+        self.sub_start[index] = len(self.subs_flat)
+        self.subs_flat.extend(node.subscriptions)
+        self.sub_end[index] = len(self.subs_flat)
+
+    def _write_range_slice(self, index: int, node: PSTNode) -> None:
+        # Lower the children *before* appending: _ensure_index recurses and
+        # may itself append range slices, which must not interleave with ours.
+        lowered = [
+            (test, self._ensure_index(child)) for test, child in node.range_branches
+        ]
+        self.range_start[index] = len(self.range_tests)
+        for test, child_index in lowered:
+            self.range_tests.append(test)
+            self.range_children.append(child_index)
+        self.range_end[index] = len(self.range_tests)
+
+    @property
+    def node_count(self) -> int:
+        """Slots in the node arrays (live + superseded-by-patch garbage)."""
+        return len(self.event_pos)
+
+    @property
+    def waste(self) -> int:
+        """Pool entries orphaned by patches since the last full compile."""
+        return self._waste
+
+    # ------------------------------------------------------------------
+    # Annotation (packed trit vectors)
+
+    @property
+    def annotated(self) -> bool:
+        return self.num_links is not None
+
+    def annotate(self, num_links: int, link_of_subscriber: LinkOfSubscriber) -> None:
+        """(Re)compute all packed per-node annotations bottom-up.
+
+        Mirrors :class:`~repro.core.annotation.TreeAnnotation` exactly (same
+        per-domain-value recipe, same conservative open-domain recipe); the
+        combines are commutative and associative, so evaluating them over
+        packed masks yields identical trits.
+        """
+        if num_links < 0:
+            raise RoutingError("num_links must be >= 0")
+        self.num_links = num_links
+        self._link_of_subscriber = link_of_subscriber
+        stack: List[Tuple[int, bool]] = [(0, False)]
+        event_pos = self.event_pos
+        while stack:
+            index, processed = stack.pop()
+            if processed or event_pos[index] < 0:
+                self.ann_yes[index], self.ann_maybe[index] = self._node_annotation(index)
+                continue
+            stack.append((index, True))
+            table = self.value_tables[index]
+            if table is not None:
+                for child in table.values():
+                    stack.append((child, False))
+            for j in range(self.range_start[index], self.range_end[index]):
+                stack.append((self.range_children[j], False))
+            if self.star[index] >= 0:
+                stack.append((self.star[index], False))
+
+    def _node_annotation(self, index: int) -> Tuple[int, int]:
+        if self.event_pos[index] < 0:
+            return self._leaf_annotation(index)
+        return self._combined_annotation(index)
+
+    def _leaf_annotation(self, index: int) -> Tuple[int, int]:
+        assert self.num_links is not None and self._link_of_subscriber is not None
+        yes = 0
+        for subscription in self.subs_flat[self.sub_start[index] : self.sub_end[index]]:
+            position = self._link_of_subscriber(subscription)
+            if not 0 <= position < self.num_links:
+                raise RoutingError(
+                    f"link position {position} out of range for {subscription!r}"
+                )
+            yes |= 1 << position
+        return yes, 0
+
+    def _combined_annotation(self, index: int) -> Tuple[int, int]:
+        assert self.num_links is not None
+        full = (1 << self.num_links) - 1
+        ann_yes = self.ann_yes
+        ann_maybe = self.ann_maybe
+        star_index = self.star[index]
+        if star_index >= 0:
+            star = (ann_yes[star_index], ann_maybe[star_index])
+        else:
+            star = (0, 0)
+        table = self.value_tables[index]
+        r0, r1 = self.range_start[index], self.range_end[index]
+        domain = self._domain_sorted[self.level[index]]
+        if domain is not None:
+            # Exhaustive domain: Alternative Combine over the exact outcome
+            # of every possible event value (each outcome Parallel-Combines
+            # the branches that value satisfies plus the *-branch).
+            out: Optional[Tuple[int, int]] = None
+            for value in domain:
+                part = star
+                if table is not None:
+                    value_id = self.value_ids.get(value)
+                    child = table.get(value_id) if value_id is not None else None
+                    if child is not None:
+                        part = parallel_combine_bits(
+                            part[0], part[1], ann_yes[child], ann_maybe[child]
+                        )
+                for j in range(r0, r1):
+                    if self.range_tests[j].evaluate(value):
+                        child = self.range_children[j]
+                        part = parallel_combine_bits(
+                            part[0], part[1], ann_yes[child], ann_maybe[child]
+                        )
+                if out is None:
+                    out = part
+                else:
+                    out = alternative_combine_bits(
+                        out[0], out[1], part[0], part[1], full
+                    )
+            return out if out is not None else (0, 0)
+        # Open domain: value/range children Alternative-Combined with an
+        # implicit all-No for unlisted values, then Parallel with the *-branch.
+        acc: Optional[Tuple[int, int]] = None
+        children: List[int] = list(table.values()) if table is not None else []
+        children.extend(self.range_children[r0:r1])
+        for child in children:
+            part = (ann_yes[child], ann_maybe[child])
+            acc = part if acc is None else alternative_combine_bits(
+                acc[0], acc[1], part[0], part[1], full
+            )
+        if acc is None:
+            acc = (0, 0)
+        else:
+            acc = alternative_combine_bits(acc[0], acc[1], 0, 0, full)
+        return parallel_combine_bits(acc[0], acc[1], star[0], star[1])
+
+    # ------------------------------------------------------------------
+    # Kernels
+
+    def match(self, event: Event) -> MatchResult:
+        """The Section 2 parallel search over the flat arrays.
+
+        Visits exactly the nodes ``ParallelSearchTree.match`` visits — every
+        node is appended to the work queue once and processed once, so the
+        ``steps`` count is identical (it is simply the final queue length);
+        only the visit *order* differs (breadth-first rather than LIFO),
+        which neither the match set nor the step count observes.
+        """
+        if event.schema != self.schema:
+            raise SubscriptionError("event schema does not match the tree's schema")
+        values = event.as_tuple()
+        value_ids = self.value_ids
+        interned = [value_ids.get(value) for value in values]
+        records = self._records
+        matched: List[Subscription] = []
+        extend = matched.extend
+        # The for loop walks the queue while children are appended to it —
+        # CPython list iteration sees the growth, giving a pop-free BFS.
+        queue = [0]
+        push = queue.append
+        for node_index in queue:
+            position, table, ranges, star_child, subs = records[node_index]
+            if position >= 0:
+                if table is not None:
+                    child = table.get(interned[position])
+                    if child is not None:
+                        push(child)
+                if ranges is not None:
+                    value = values[position]
+                    for test, range_child in ranges:
+                        if test.evaluate(value):
+                            push(range_child)
+                if star_child >= 0:
+                    push(star_child)
+            elif subs is not None:
+                extend(subs)
+        return MatchResult(matched, len(queue))
+
+    def match_links(
+        self, event: Event, yes_bits: int, maybe_bits: int
+    ) -> Tuple[int, int]:
+        """The Section 3.3 refinement search over packed masks.
+
+        Takes the initialization mask as ``(yes_bits, maybe_bits)`` and
+        returns ``(final_yes_bits, steps)``; the final mask has no Maybe
+        trits by construction, so the Yes bits determine it completely.
+        An explicit frame stack mirrors ``LinkMatcher``'s recursion exactly
+        — same visit order, same early exits, same ``steps``.
+        """
+        if not self.annotated:
+            raise RoutingError("program has no link annotations — call annotate()")
+        if event.schema != self.schema:
+            raise RoutingError("event schema does not match the annotated tree")
+        values = event.as_tuple()
+        value_ids = self.value_ids
+        interned = [value_ids.get(value) for value in values]
+        records = self._records
+        ann_yes = self.ann_yes
+        ann_maybe = self.ann_maybe
+        steps = 0
+        # Each frame: [children, next_child_position, yes_bits, maybe_bits].
+        frames: List[list] = []
+        current = 0
+        cur_yes = yes_bits
+        cur_maybe = maybe_bits
+        returned_yes = 0
+        entering = True
+        while True:
+            if entering:
+                steps += 1
+                # Step 2: refine Maybes with the node's annotation.
+                cur_yes |= cur_maybe & ann_yes[current]
+                cur_maybe &= ann_maybe[current]
+                if not cur_maybe:
+                    returned_yes = cur_yes
+                    entering = False
+                    continue
+                position, table, ranges, star_child, _subs = records[current]
+                if position < 0:
+                    # Leaf annotations are Yes/No only, so refinement above
+                    # has already removed every Maybe; this is unreachable
+                    # unless an annotation is stale.
+                    raise RoutingError(
+                        "leaf annotation left Maybe trits — stale annotation?"
+                    )
+                children: List[int] = []
+                if table is not None:
+                    child = table.get(interned[position])
+                    if child is not None:
+                        children.append(child)
+                if ranges is not None:
+                    value = values[position]
+                    for test, range_child in ranges:
+                        if test.evaluate(value):
+                            children.append(range_child)
+                if star_child >= 0:
+                    children.append(star_child)
+                if not children:
+                    # No applicable branch: remaining Maybes become No.
+                    returned_yes = cur_yes
+                    entering = False
+                    continue
+                frames.append([children, 0, cur_yes, cur_maybe])
+                current = children[0]
+                continue
+            # Returning `returned_yes` from a completed subsearch.
+            if not frames:
+                return returned_yes, steps
+            frame = frames[-1]
+            # Step 3: convert to Yes every Maybe whose returned trit is Yes.
+            frame_maybe = frame[3]
+            frame_yes = frame[2] | (frame_maybe & returned_yes)
+            frame_maybe &= ~returned_yes
+            if not frame_maybe:
+                frames.pop()
+                returned_yes = frame_yes
+                continue
+            next_child = frame[1] + 1
+            children = frame[0]
+            if next_child == len(children):
+                # All children searched: remaining Maybes become No.
+                frames.pop()
+                returned_yes = frame_yes
+                continue
+            frame[1] = next_child
+            frame[2] = frame_yes
+            frame[3] = frame_maybe
+            current = children[next_child]
+            cur_yes = frame_yes
+            cur_maybe = frame_maybe
+            entering = True
+
+    # ------------------------------------------------------------------
+    # Incremental recompilation
+
+    def patch(self, tree: ParallelSearchTree, predicate: Predicate) -> bool:
+        """Re-lower the root-to-leaf path selected by ``predicate`` after one
+        subscription was inserted into / removed from ``tree``.
+
+        Returns ``False`` (leaving the program untouched is then unsafe —
+        the caller must fully recompile) when the tree's root was replaced
+        (a re-materializing insert above the old root) or when accumulated
+        patch garbage outweighs the live structure.  Otherwise syncs the
+        path's edges and leaf slice with the live tree, and recomputes the
+        packed annotations of the path bottom-up when annotations are bound.
+        """
+        if self.index_of_node.get(tree.root.node_id) != 0:
+            return False
+        # Compare garbage against the *live* structure (total slots minus
+        # garbage), not against the total — the total includes the garbage
+        # itself, which would let waste grow without ever crossing it.
+        if self._waste > max(64, self.node_count - self._waste):
+            return False
+        tests = [predicate.tests[position] for position in self._positions]
+        path: List[Tuple[int, PSTNode]] = []
+        node: Optional[PSTNode] = tree.root
+        while node is not None:
+            index = self._ensure_index(node)
+            path.append((index, node))
+            if node.is_leaf:
+                self._sync_leaf(index, node)
+                break
+            test = tests[node.attribute_position]
+            child = _child_for_test(node, test)
+            self._sync_edge(index, node, test, child)
+            node = child
+        for index, _node in path:
+            self._refresh_record(index)
+        if self.annotated:
+            for index, _node in reversed(path):
+                self.ann_yes[index], self.ann_maybe[index] = self._node_annotation(index)
+        return True
+
+    def _charge_subtree(self, index: int) -> None:
+        """Count every slot under an unreachable node as patch garbage.
+
+        Only called for subtrees the live tree has *pruned* (their PST node
+        ids never reappear), so nothing here can be reattached later."""
+        queue = [index]
+        for node_index in queue:
+            self._waste += 1
+            self._waste += self.sub_end[node_index] - self.sub_start[node_index]
+            table = self.value_tables[node_index]
+            if table is not None:
+                queue.extend(table.values())
+            queue.extend(
+                self.range_children[
+                    self.range_start[node_index] : self.range_end[node_index]
+                ]
+            )
+            if self.star[node_index] >= 0:
+                queue.append(self.star[node_index])
+
+    def _sync_leaf(self, index: int, node: PSTNode) -> None:
+        begin, end = self.sub_start[index], self.sub_end[index]
+        if self.subs_flat[begin:end] == node.subscriptions:
+            return
+        self._waste += end - begin
+        self._write_leaf_subs(index, node)
+
+    def _sync_edge(
+        self,
+        index: int,
+        node: PSTNode,
+        test: AttributeTest,
+        child: Optional[PSTNode],
+    ) -> None:
+        """Make the flat edge for ``test`` at ``node`` agree with the tree."""
+        child_index = self._ensure_index(child) if child is not None else -1
+        if test.is_dont_care:
+            if self.star[index] != child_index:
+                if self.star[index] >= 0:
+                    if child_index < 0:
+                        # The star branch was pruned outright — its whole
+                        # compiled subtree is garbage.  (A redirect keeps the
+                        # old child reachable through its new parent, so it
+                        # is charged only one slot.)
+                        self._charge_subtree(self.star[index])
+                    else:
+                        self._waste += 1
+                self.star[index] = child_index
+            return
+        if isinstance(test, EqualityTest):
+            table = self.value_tables[index]
+            if child_index < 0:
+                if table is not None:
+                    value_id = self.value_ids.get(test.value)
+                    if value_id is not None:
+                        dropped = table.pop(value_id, None)
+                        if dropped is not None:
+                            self._charge_subtree(dropped)
+                    if not table:
+                        self.value_tables[index] = None
+                return
+            if table is None:
+                table = {}
+                self.value_tables[index] = table
+            table[self._intern(test.value)] = child_index
+            return
+        # Range edge: rebuild the node's CSR slice when it disagrees.
+        begin, end = self.range_start[index], self.range_end[index]
+        live = node.range_branches
+        if len(live) == end - begin and all(
+            self.range_tests[begin + k] == live[k][0]
+            and self.range_children[begin + k]
+            == self.index_of_node.get(live[k][1].node_id)
+            for k in range(len(live))
+        ):
+            return
+        self._waste += end - begin
+        self._write_range_slice(index, node)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledProgram({self.node_count} nodes, "
+            f"{len(self.value_ids)} interned values, "
+            f"{len(self.subs_flat)} leaf slots, waste={self._waste}, "
+            f"annotated={self.annotated})"
+        )
+
+
+def _child_for_test(node: PSTNode, test: AttributeTest) -> Optional[PSTNode]:
+    """The child whose branch label equals ``test`` (the update-path walk)."""
+    if test.is_dont_care:
+        return node.star_child
+    if isinstance(test, EqualityTest):
+        return node.value_branches.get(test.value)
+    for branch_test, child in node.range_branches:
+        if branch_test == test:
+            return child
+    return None
+
+
+def compile_tree(tree: ParallelSearchTree) -> CompiledProgram:
+    """Lower ``tree`` into a fresh :class:`CompiledProgram`."""
+    return CompiledProgram(tree)

@@ -1,0 +1,242 @@
+"""The two interchangeable matcher engines behind :class:`MatcherEngine`.
+
+* :class:`TreeEngine` wraps the object-graph implementations — a
+  :class:`~repro.matching.pst.ParallelSearchTree` matched directly, with
+  :class:`~repro.core.annotation.TreeAnnotation` +
+  :class:`~repro.core.link_matcher.LinkMatcher` for link matching.
+* :class:`CompiledEngine` maintains the same tree for structure but lowers
+  it with :mod:`repro.matching.compile` and matches through the array
+  kernels; subscription churn is absorbed by incremental re-lowering
+  (:meth:`CompiledProgram.patch`) with a full recompile as fallback.
+
+Both engines produce identical match sets, identical step counts, and
+identical refined link masks (the equivalence property test in
+``tests/property/test_prop_engine_equivalence.py`` pins this down); the
+compiled engine is simply faster per event, while the tree engine has no
+compile step and is the easier one to read next to the paper.  Consumers
+pick by name through :func:`create_engine`; the project default is
+``"compiled"``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from repro.errors import RoutingError, SubscriptionError
+from repro.core.annotation import LinkOfSubscriber, TreeAnnotation
+from repro.core.link_matcher import LinkMatcher, LinkMatchResult
+from repro.core.trits import TritVector, pack_tritvector, unpack_tritvector
+from repro.matching.base import MatcherEngine
+from repro.matching.compile import CompiledProgram, compile_tree
+from repro.matching.events import Event
+from repro.matching.pst import MatchResult, ParallelSearchTree
+from repro.matching.predicates import Subscription
+from repro.matching.schema import AttributeValue, EventSchema
+
+#: Valid engine names, in preference order.
+ENGINE_NAMES = ("compiled", "tree")
+
+#: The engine used when callers do not choose one.
+DEFAULT_ENGINE = "compiled"
+
+
+class _EngineBase(MatcherEngine):
+    """Shared tree ownership: both engines keep a live PST for structure."""
+
+    def __init__(
+        self,
+        schema: EventSchema,
+        *,
+        attribute_order: Optional[Sequence[str]] = None,
+        domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
+    ) -> None:
+        self.schema = schema
+        self.tree = ParallelSearchTree(
+            schema, attribute_order=attribute_order, domains=domains
+        )
+        self._num_links: Optional[int] = None
+        self._link_of_subscriber: Optional[LinkOfSubscriber] = None
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        return self.tree.subscriptions
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self.tree)
+
+    def match_brute_force(self, event: Event) -> List[Subscription]:
+        """Reference semantics: evaluate every predicate directly."""
+        return self.tree.match_brute_force(event)
+
+    def _require_links(self) -> int:
+        if self._num_links is None:
+            raise RoutingError(
+                f"{type(self).__name__}.match_links() requires a prior bind_links()"
+            )
+        return self._num_links
+
+    def _check_mask(self, initialization_mask: TritVector) -> None:
+        if len(initialization_mask) != self._num_links:
+            raise ValueError(
+                f"trit vector length mismatch: {self._num_links} vs "
+                f"{len(initialization_mask)}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({len(self.tree)} subscriptions)"
+
+
+class TreeEngine(_EngineBase):
+    """Today's object-graph matcher behind the engine interface.
+
+    Annotations are computed on first :meth:`match_links` and patched
+    incrementally along the changed path on insert/remove (the behavior the
+    router previously implemented inline)."""
+
+    name = "tree"
+
+    def __init__(
+        self,
+        schema: EventSchema,
+        *,
+        attribute_order: Optional[Sequence[str]] = None,
+        domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
+    ) -> None:
+        super().__init__(schema, attribute_order=attribute_order, domains=domains)
+        self._annotation: Optional[TreeAnnotation] = None
+        self._link_matcher: Optional[LinkMatcher] = None
+
+    def insert(self, subscription: Subscription) -> None:
+        self.tree.insert(subscription)
+        self._patch_annotation(subscription)
+
+    def remove(self, subscription_id: int) -> Subscription:
+        subscription = self.tree.remove(subscription_id)
+        self._patch_annotation(subscription)
+        return subscription
+
+    def _patch_annotation(self, subscription: Subscription) -> None:
+        if self._annotation is not None:
+            self._annotation.update_path(self.tree, subscription.predicate)
+
+    def match(self, event: Event) -> MatchResult:
+        return self.tree.match(event)
+
+    def bind_links(
+        self, num_links: int, link_of_subscriber: LinkOfSubscriber
+    ) -> None:
+        self._num_links = num_links
+        self._link_of_subscriber = link_of_subscriber
+        self._annotation = None
+        self._link_matcher = None
+
+    def match_links(
+        self, event: Event, initialization_mask: TritVector
+    ) -> LinkMatchResult:
+        self._require_links()
+        self._check_mask(initialization_mask)
+        if self._annotation is None:
+            assert self._num_links is not None
+            assert self._link_of_subscriber is not None
+            self._annotation = TreeAnnotation(self._num_links, self._link_of_subscriber)
+            self._annotation.annotate(self.tree)
+            self._link_matcher = LinkMatcher(self.tree, self._annotation)
+        assert self._link_matcher is not None
+        return self._link_matcher.match_links(event, initialization_mask)
+
+
+class CompiledEngine(_EngineBase):
+    """The array-kernel matcher: compile lazily, patch incrementally.
+
+    The program is (re)compiled on first use after construction or after a
+    patch bail-out; annotations are packed bitmasks attached to the same
+    program.  ``invalidate()`` forces a recompile (needed only if the
+    underlying ``tree`` is mutated behind the engine's back, e.g. by calling
+    ``tree.eliminate_trivial_tests()`` directly)."""
+
+    name = "compiled"
+
+    def __init__(
+        self,
+        schema: EventSchema,
+        *,
+        attribute_order: Optional[Sequence[str]] = None,
+        domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
+    ) -> None:
+        super().__init__(schema, attribute_order=attribute_order, domains=domains)
+        self._program: Optional[CompiledProgram] = None
+        self._annotation_dirty = False
+
+    def invalidate(self) -> None:
+        """Drop the compiled form; the next match recompiles from the tree."""
+        self._program = None
+
+    @property
+    def program(self) -> CompiledProgram:
+        """The current compiled form (compiling first if needed)."""
+        return self._ensure_program()
+
+    def _ensure_program(self) -> CompiledProgram:
+        if self._program is None:
+            self._program = compile_tree(self.tree)
+            self._annotation_dirty = self._num_links is not None
+        return self._program
+
+    def insert(self, subscription: Subscription) -> None:
+        self.tree.insert(subscription)
+        self._patch_program(subscription)
+
+    def remove(self, subscription_id: int) -> Subscription:
+        subscription = self.tree.remove(subscription_id)
+        self._patch_program(subscription)
+        return subscription
+
+    def _patch_program(self, subscription: Subscription) -> None:
+        if self._program is not None and not self._program.patch(
+            self.tree, subscription.predicate
+        ):
+            self._program = None
+
+    def match(self, event: Event) -> MatchResult:
+        return self._ensure_program().match(event)
+
+    def bind_links(
+        self, num_links: int, link_of_subscriber: LinkOfSubscriber
+    ) -> None:
+        self._num_links = num_links
+        self._link_of_subscriber = link_of_subscriber
+        self._annotation_dirty = True
+
+    def match_links(
+        self, event: Event, initialization_mask: TritVector
+    ) -> LinkMatchResult:
+        num_links = self._require_links()
+        self._check_mask(initialization_mask)
+        program = self._ensure_program()
+        if self._annotation_dirty or not program.annotated:
+            assert self._link_of_subscriber is not None
+            program.annotate(num_links, self._link_of_subscriber)
+            self._annotation_dirty = False
+        yes_bits, maybe_bits = pack_tritvector(initialization_mask)
+        final_yes, steps = program.match_links(event, yes_bits, maybe_bits)
+        return LinkMatchResult(unpack_tritvector(final_yes, 0, num_links), steps)
+
+
+def create_engine(
+    engine: str,
+    schema: EventSchema,
+    *,
+    attribute_order: Optional[Sequence[str]] = None,
+    domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
+) -> MatcherEngine:
+    """Instantiate an engine by name (``"tree"`` or ``"compiled"``)."""
+    if engine == "compiled":
+        cls = CompiledEngine
+    elif engine == "tree":
+        cls = TreeEngine
+    else:
+        raise SubscriptionError(
+            f"unknown matcher engine {engine!r} — expected one of {ENGINE_NAMES}"
+        )
+    return cls(schema, attribute_order=attribute_order, domains=domains)

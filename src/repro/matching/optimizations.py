@@ -45,6 +45,7 @@ from typing import (
 )
 
 from repro.errors import SubscriptionError
+from repro.matching.compile import CompiledProgram, compile_tree
 from repro.matching.events import Event
 from repro.matching.pst import MatchResult, ParallelSearchTree, PSTNode
 from repro.matching.predicates import DONT_CARE, EqualityTest, Subscription
@@ -87,6 +88,12 @@ class FactoredMatcher:
     residual_order:
         Optional attribute order for the residual sub-PSTs (must be a
         permutation of the non-index attributes).
+    engine:
+        ``"tree"`` searches the sub-PSTs directly; ``"compiled"`` lowers each
+        sub-PST with :mod:`repro.matching.compile` on first use and matches
+        through the array kernels (programs are invalidated by mutation and
+        by :meth:`compact`).  Either way match sets and step counts are
+        identical.
 
     Events whose index values fall outside the declared domains select
     :data:`OUT_OF_DOMAIN` buckets, so matching stays exactly equivalent to
@@ -102,9 +109,15 @@ class FactoredMatcher:
         domains: Mapping[str, Iterable[AttributeValue]],
         *,
         residual_order: Optional[Sequence[str]] = None,
+        engine: str = "tree",
     ) -> None:
         if not index_attributes:
             raise SubscriptionError("factoring needs at least one index attribute")
+        if engine not in ("tree", "compiled"):
+            raise SubscriptionError(
+                f"unknown matcher engine {engine!r} — expected 'tree' or 'compiled'"
+            )
+        self.engine = engine
         self.schema = schema
         self.index_attributes: Tuple[str, ...] = tuple(index_attributes)
         self.domains: Dict[str, FrozenSet[AttributeValue]] = {
@@ -128,6 +141,7 @@ class FactoredMatcher:
             residual_names = list(residual_order)
         self._residual_order = residual_names
         self._trees: Dict[Tuple[AttributeValue, ...], ParallelSearchTree] = {}
+        self._programs: Dict[Tuple[AttributeValue, ...], CompiledProgram] = {}
         self._by_id: Dict[int, Subscription] = {}
         self._keys_by_id: Dict[int, List[Tuple[AttributeValue, ...]]] = {}
         self._dirty = False
@@ -199,6 +213,7 @@ class FactoredMatcher:
         keys = self._keys_for(subscription)
         for key in keys:
             self._tree_for(key).insert(self._relaxed_for_key(subscription, key))
+            self._programs.pop(key, None)
         self._by_id[subscription.subscription_id] = subscription
         self._keys_by_id[subscription.subscription_id] = keys
         self._dirty = True
@@ -232,6 +247,7 @@ class FactoredMatcher:
         for key in self._keys_by_id.pop(subscription_id):
             tree = self._trees[key]
             tree.remove(subscription_id)
+            self._programs.pop(key, None)
             if len(tree) == 0:
                 del self._trees[key]
         return subscription
@@ -243,6 +259,9 @@ class FactoredMatcher:
             return
         for tree in self._trees.values():
             tree.eliminate_trivial_tests()
+        # Splicing restructures the trees in place, so every compiled form is
+        # stale — drop them all and re-lower lazily on the next match.
+        self._programs.clear()
         self._dirty = False
 
     def key_for_event(self, event: Event) -> Tuple[AttributeValue, ...]:
@@ -266,10 +285,17 @@ class FactoredMatcher:
         The lookup counts as one matching step.
         """
         self.compact()
-        tree = self.tree_for_event(event)
+        key = self.key_for_event(event)
+        tree = self._trees.get(key)
         if tree is None:
             return MatchResult([], 1)
-        result = tree.match(event)
+        if self.engine == "compiled":
+            program = self._programs.get(key)
+            if program is None:
+                program = self._programs[key] = compile_tree(tree)
+            result = program.match(event)
+        else:
+            result = tree.match(event)
         return MatchResult(result.subscriptions, result.steps + 1)
 
     def match_brute_force(self, event: Event) -> List[Subscription]:

@@ -29,6 +29,48 @@ from repro.matching.predicates import (
     RangeTest,
     Subscription,
 )
+from repro.matching.schema import Attribute, AttributeType
+
+
+def _is_plain_int(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _canonicalize_integer_bounds(attribute: Attribute, test: AttributeTest) -> AttributeTest:
+    """Close strict bounds over INTEGER attributes: ``x < 4`` accepts exactly
+    the same integers as ``x <= 3`` (and ``x > 2`` the same as ``x >= 3``),
+    but the literal bound comparison in :func:`_interval_contains` cannot see
+    that.  Canonicalizing to the closed form keeps the per-test containment
+    check complete on the exclusion-free sublanguage."""
+    if attribute.type is not AttributeType.INTEGER:
+        return test
+    if isinstance(test, RangeTest) and _is_plain_int(test.bound):
+        if test.op is RangeOp.LT:
+            return RangeTest(RangeOp.LE, test.bound - 1)
+        if test.op is RangeOp.GT:
+            return RangeTest(RangeOp.GE, test.bound + 1)
+        return test
+    if isinstance(test, IntervalTest):
+        low, low_closed = test.low, test.low_closed
+        high, high_closed = test.high, test.high_closed
+        if low is not None and not low_closed and _is_plain_int(low):
+            low, low_closed = low + 1, True
+        if high is not None and not high_closed and _is_plain_int(high):
+            high, high_closed = high - 1, True
+        if (low, low_closed, high, high_closed) != (
+            test.low,
+            test.low_closed,
+            test.high,
+            test.high_closed,
+        ):
+            return IntervalTest(
+                low,
+                high,
+                low_closed=low_closed,
+                high_closed=high_closed,
+                excluded=test.excluded,
+            )
+    return test
 
 
 def _as_interval(test: AttributeTest) -> Optional[IntervalTest]:
@@ -118,8 +160,13 @@ def predicate_subsumes(general: Predicate, specific: Predicate) -> bool:
     if not specific.is_satisfiable:
         return True
     return all(
-        covers(general_test, specific_test)
-        for general_test, specific_test in zip(general.tests, specific.tests)
+        covers(
+            _canonicalize_integer_bounds(attribute, general_test),
+            _canonicalize_integer_bounds(attribute, specific_test),
+        )
+        for attribute, general_test, specific_test in zip(
+            general.schema.attributes, general.tests, specific.tests
+        )
     )
 
 

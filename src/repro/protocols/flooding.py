@@ -23,7 +23,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.matching.pst import ParallelSearchTree
+from repro.matching.base import MatcherEngine
+from repro.matching.engines import create_engine
 from repro.protocols.base import Decision, ProtocolContext, RoutingProtocol, SimMessage
 
 
@@ -35,12 +36,14 @@ class FloodingProtocol(RoutingProtocol):
     def __init__(self, context: ProtocolContext, *, filter_at_edge: bool = False) -> None:
         super().__init__(context)
         self.filter_at_edge = filter_at_edge
-        # Per-broker PST over the subscriptions of *locally attached* clients
-        # only: flooding needs no global knowledge, that is its one virtue.
-        self._local_trees: Dict[str, ParallelSearchTree] = {}
+        # Per-broker matcher over the subscriptions of *locally attached*
+        # clients only: flooding needs no global knowledge, that is its one
+        # virtue.
+        self._local_trees: Dict[str, MatcherEngine] = {}
         topology = context.topology
         for broker in topology.brokers():
-            tree = ParallelSearchTree(
+            tree = create_engine(
+                context.engine,
                 context.schema,
                 attribute_order=context.attribute_order,
                 domains=context.domains,

@@ -33,6 +33,7 @@ class LinkMatchingProtocol(RoutingProtocol):
                 attribute_order=context.attribute_order,
                 domains=context.domains,
                 factoring_attributes=context.factoring_attributes,
+                engine=context.engine,
             )
             for subscription in context.subscriptions:
                 router.add_subscription(subscription)

@@ -51,6 +51,7 @@ class MatchFirstProtocol(RoutingProtocol):
                 attribute_order=context.attribute_order,
                 domains=context.domains,
                 factoring_attributes=context.factoring_attributes,
+                engine=context.engine,
             )
             for subscription in context.subscriptions:
                 router.add_subscription(subscription)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.broker import MatchingEngine
 from repro.errors import ParseError, SubscriptionError
-from repro.matching import Event, FactoredMatcher, ParallelSearchTree
+from repro.matching import CompiledEngine, Event, FactoredMatcher, TreeEngine
 
 
 class TestSubscriptionManager:
@@ -59,8 +59,15 @@ class TestEventParser:
 
 
 class TestMatcherSelection:
-    def test_default_is_plain_tree(self, stock_schema):
-        assert isinstance(MatchingEngine(stock_schema).matcher, ParallelSearchTree)
+    def test_default_is_compiled_engine(self, stock_schema):
+        assert isinstance(MatchingEngine(stock_schema).matcher, CompiledEngine)
+
+    def test_tree_engine_selectable(self, stock_schema):
+        assert isinstance(MatchingEngine(stock_schema, engine="tree").matcher, TreeEngine)
+
+    def test_unknown_engine_rejected(self, stock_schema):
+        with pytest.raises(SubscriptionError):
+            MatchingEngine(stock_schema, engine="jit")
 
     def test_factoring_selects_factored_matcher(self, schema5):
         engine = MatchingEngine(

@@ -1,0 +1,130 @@
+"""Unit tests of the MatcherEngine surface and the compiled program's
+lifecycle (lazy compilation, incremental patching, recompile fallback)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TritVector
+from repro.errors import RoutingError, SubscriptionError
+from repro.matching import (
+    CompiledEngine,
+    MatcherEngine,
+    TreeEngine,
+    create_engine,
+    uniform_schema,
+)
+from repro.matching.compile import compile_tree
+from repro.matching.events import Event
+from repro.matching.predicates import EqualityTest, Predicate, Subscription
+
+SCHEMA = uniform_schema(3)
+DOMAINS = {name: [0, 1, 2] for name in SCHEMA.names}
+
+
+def subscription(values, subscriber="s0", **kwargs):
+    tests = {
+        name: EqualityTest(value)
+        for name, value in zip(SCHEMA.names, values)
+        if value is not None
+    }
+    return Subscription(Predicate(SCHEMA, tests), subscriber, **kwargs)
+
+
+def link_of(sub):
+    return int(sub.subscriber[1:])
+
+
+class TestCreateEngine:
+    def test_names(self):
+        assert create_engine("tree", SCHEMA).name == "tree"
+        assert create_engine("compiled", SCHEMA).name == "compiled"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SubscriptionError):
+            create_engine("jit", SCHEMA)
+
+    def test_engines_are_matcher_engines(self):
+        assert isinstance(create_engine("tree", SCHEMA), MatcherEngine)
+        assert isinstance(create_engine("compiled", SCHEMA), MatcherEngine)
+
+
+class TestEngineSurface:
+    @pytest.mark.parametrize("engine_name", ["tree", "compiled"])
+    def test_match_links_requires_bind_links(self, engine_name):
+        engine = create_engine(engine_name, SCHEMA, domains=DOMAINS)
+        with pytest.raises(RoutingError):
+            engine.match_links(Event.from_tuple(SCHEMA, (0, 0, 0)), TritVector("MM"))
+
+    @pytest.mark.parametrize("engine_name", ["tree", "compiled"])
+    def test_match_links_rejects_wrong_mask_length(self, engine_name):
+        engine = create_engine(engine_name, SCHEMA, domains=DOMAINS)
+        engine.bind_links(3, link_of)
+        with pytest.raises(ValueError):
+            engine.match_links(Event.from_tuple(SCHEMA, (0, 0, 0)), TritVector("MM"))
+
+    @pytest.mark.parametrize("engine_name", ["tree", "compiled"])
+    def test_subscription_bookkeeping(self, engine_name):
+        engine = create_engine(engine_name, SCHEMA)
+        sub = subscription((0, None, 1))
+        engine.insert(sub)
+        assert engine.subscription_count == 1
+        assert engine.subscriptions == [sub]
+        removed = engine.remove(sub.subscription_id)
+        assert removed is sub
+        assert engine.subscription_count == 0
+
+
+class TestCompiledProgramLifecycle:
+    def test_program_compiles_lazily_and_is_patched_in_place(self):
+        engine = CompiledEngine(SCHEMA)
+        engine.insert(subscription((0, 1, None)))
+        program = engine.program  # force compilation
+        engine.insert(subscription((0, 2, None)))
+        assert engine.program is program  # patched, not recompiled
+
+    def test_waste_accumulates_and_triggers_recompile(self):
+        engine = CompiledEngine(SCHEMA)
+        engine.insert(subscription((0, 1, None)))
+        program = engine.program
+        # Repeated insert/remove of the same shape leaves dead slots behind;
+        # past the waste threshold the patch bails out and the engine
+        # recompiles from the tree.
+        for round_index in range(500):
+            sub = subscription((round_index % 3, None, 1))
+            engine.insert(sub)
+            engine.remove(sub.subscription_id)
+            if engine._program is None or engine._program is not program:
+                break
+        else:
+            pytest.fail("patching never fell back to recompilation")
+        event = Event.from_tuple(SCHEMA, (0, 1, 0))
+        assert {s.subscription_id for s in engine.match(event).subscriptions}
+
+    def test_invalidate_forces_recompile(self):
+        engine = CompiledEngine(SCHEMA)
+        engine.insert(subscription((0, 1, None)))
+        before = engine.program
+        engine.invalidate()
+        assert engine.program is not before
+
+    def test_compile_tree_matches_like_the_tree(self):
+        engine = TreeEngine(SCHEMA)
+        for values in ((0, 1, None), (None, 1, 2), (2, None, None)):
+            engine.insert(subscription(values))
+        program = compile_tree(engine.tree)
+        for event_values in ((0, 1, 2), (2, 1, 2), (1, 1, 1)):
+            event = Event.from_tuple(SCHEMA, event_values)
+            tree_result = engine.match(event)
+            compiled_result = program.match(event)
+            assert sorted(
+                s.subscription_id for s in compiled_result.subscriptions
+            ) == sorted(s.subscription_id for s in tree_result.subscriptions)
+            assert compiled_result.steps == tree_result.steps
+
+    def test_match_rejects_foreign_schema(self):
+        engine = CompiledEngine(SCHEMA)
+        engine.insert(subscription((0, None, None)))
+        other = uniform_schema(2)
+        with pytest.raises(SubscriptionError):
+            engine.match(Event.from_tuple(other, (0, 0)))
