@@ -11,19 +11,27 @@ Run from the repo root::
     PYTHONPATH=src python benchmarks/compare_engines.py
     PYTHONPATH=src python benchmarks/compare_engines.py --counts 1000 25000 --save
 
-``--save`` archives the table under ``benchmarks/results/compare_engines.txt``.
+``--save`` archives the table under ``benchmarks/results/compare_engines.txt``
+and emits the machine-readable ``BENCH_compare_engines.json`` artifact next
+to it.  ``--min-speedup X`` turns the script into the CI perf-regression
+gate: exit code 1 if the compiled engine's speedup at the largest
+subscription count falls below ``X``.
 """
 
 from __future__ import annotations
 
 import argparse
 import pathlib
+import sys
 import time
 
 from repro.matching.engines import create_engine
+from repro.obs import bench as obs_bench
+from repro.obs import get_registry
 from repro.workload import CHART1_SPEC, EventGenerator, SubscriptionGenerator
 
-RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "compare_engines.txt"
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULTS_PATH = RESULTS_DIR / "compare_engines.txt"
 ENGINES = ("tree", "compiled")
 
 
@@ -50,6 +58,10 @@ def time_matches(engine, events, repeats):
 
 
 def run(counts, num_events, repeats, seed):
+    """Sweep the subscription counts; returns (rows, rendered table text).
+
+    Each row is ``{subscriptions, avg_steps, tree_us, compiled_us, speedup}``.
+    """
     spec = CHART1_SPEC
     subscription_generator = SubscriptionGenerator(spec, seed=seed)
     event_generator = EventGenerator(spec, seed=seed + 1)
@@ -57,6 +69,7 @@ def run(counts, num_events, repeats, seed):
 
     header = f"{'subscriptions':>13} {'avg_steps':>9} {'tree_us':>9} {'compiled_us':>11} {'speedup':>8}"
     lines = [header, "-" * len(header)]
+    rows = []
     for count in counts:
         subscriptions = subscription_generator.subscriptions_for(["client"], count)
         per_match = {}
@@ -67,12 +80,40 @@ def run(counts, num_events, repeats, seed):
             per_match[name], steps[name] = time_matches(engine, events, repeats)
         assert steps["tree"] == steps["compiled"], "engines disagree on steps"
         speedup = per_match["tree"] / per_match["compiled"]
+        rows.append(
+            {
+                "subscriptions": count,
+                "avg_steps": steps["tree"],
+                "tree_us": per_match["tree"] * 1e6,
+                "compiled_us": per_match["compiled"] * 1e6,
+                "speedup": speedup,
+            }
+        )
         lines.append(
             f"{count:>13} {steps['tree']:>9.1f} "
             f"{per_match['tree'] * 1e6:>9.1f} {per_match['compiled'] * 1e6:>11.1f} "
             f"{speedup:>7.2f}x"
         )
-    return "\n".join(lines)
+    return rows, "\n".join(lines)
+
+
+def emit_bench(rows, args, directory):
+    payload = obs_bench.bench_payload(
+        "compare_engines",
+        engine="tree-vs-compiled",
+        workload={
+            "spec": "CHART1_SPEC",
+            "counts": list(args.counts),
+            "events": args.events,
+            "repeats": args.repeats,
+            "seed": args.seed,
+        },
+        wall_clock_s=None,
+        metrics=get_registry(),
+        extra={"rows": rows},
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    return obs_bench.write_bench(payload, directory)
 
 
 def main(argv=None):
@@ -85,15 +126,44 @@ def main(argv=None):
     parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best kept)")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--save", action="store_true", help=f"write table to {RESULTS_PATH}")
+    parser.add_argument(
+        "--bench-out", metavar="DIR", default=None,
+        help="emit BENCH_compare_engines.json into DIR (implied by --save)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="perf gate: exit 1 unless compiled is at least X times faster "
+        "than tree at the largest subscription count",
+    )
     args = parser.parse_args(argv)
 
-    table = run(args.counts, args.events, args.repeats, args.seed)
+    get_registry().enable()  # before any engine exists, so instruments record
+    rows, table = run(args.counts, args.events, args.repeats, args.seed)
     print(table)
     if args.save:
-        RESULTS_PATH.parent.mkdir(exist_ok=True)
+        RESULTS_DIR.mkdir(exist_ok=True)
         RESULTS_PATH.write_text(table + "\n")
         print(f"\nsaved to {RESULTS_PATH}")
+    if args.save or args.bench_out:
+        out_dir = pathlib.Path(args.bench_out) if args.bench_out else RESULTS_DIR
+        path = emit_bench(rows, args, out_dir)
+        print(f"bench artifact: {path}")
+
+    if args.min_speedup is not None:
+        gate_row = max(rows, key=lambda row: row["subscriptions"])
+        if gate_row["speedup"] < args.min_speedup:
+            print(
+                f"PERF GATE FAILED: compiled speedup {gate_row['speedup']:.2f}x "
+                f"< {args.min_speedup:.2f}x at {gate_row['subscriptions']} subscriptions",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"perf gate passed: {gate_row['speedup']:.2f}x >= {args.min_speedup:.2f}x "
+            f"at {gate_row['subscriptions']} subscriptions"
+        )
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

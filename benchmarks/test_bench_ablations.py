@@ -28,8 +28,11 @@ def ablation_config() -> AblationConfig:
 
 
 def test_factoring_levels(once):
-    table = once(lambda: run_factoring_ablation(ablation_config()))
-    archive_table("ablation_factoring", table)
+    config = ablation_config()
+    table = once(lambda: run_factoring_ablation(config))
+    archive_table(
+        "ablation_factoring", table, workload=config, wall_clock_s=once.last_wall_clock_s
+    )
     steps = dict(zip(table.column("factoring_levels"), table.column("mean_steps")))
     nodes = dict(zip(table.column("factoring_levels"), table.column("total_nodes")))
     assert steps[2] < steps[0], "factoring must reduce matching steps"
@@ -37,8 +40,11 @@ def test_factoring_levels(once):
 
 
 def test_attribute_ordering(once):
-    table = once(lambda: run_ordering_ablation(ablation_config()))
-    archive_table("ablation_ordering", table)
+    config = ablation_config()
+    table = once(lambda: run_ordering_ablation(config))
+    archive_table(
+        "ablation_ordering", table, workload=config, wall_clock_s=once.last_wall_clock_s
+    )
     steps = dict(zip(table.column("ordering"), table.column("mean_steps")))
     assert steps["fewest-dont-cares"] <= steps["reverse"], (
         "the paper's ordering heuristic must beat the adversarial order"
@@ -52,7 +58,12 @@ def test_delayed_branching(once):
         num_events=300 if paper_scale() else 150,
     )
     table = once(lambda: run_delayed_branching_ablation(config))
-    archive_table("ablation_delayed_branching", table)
+    archive_table(
+        "ablation_delayed_branching",
+        table,
+        workload=config,
+        wall_clock_s=once.last_wall_clock_s,
+    )
     rows = {row[0]: row for row in table.rows}
     assert rows["search DAG"][1] < rows["parallel search tree"][1], (
         "delayed branching must reduce matching steps"
@@ -61,7 +72,9 @@ def test_delayed_branching(once):
 
 def test_virtual_links(once):
     table = once(lambda: run_virtual_link_ablation(subscribers_per_broker=3))
-    archive_table("ablation_virtual_links", table)
+    archive_table(
+        "ablation_virtual_links", table, wall_clock_s=once.last_wall_clock_s
+    )
     rows = {row[0]: row for row in table.rows}
     assert rows["default"][1] > 0, "lateral links must force link splits"
     assert rows["none"][1] == 0, "a pure tree needs no virtual links"
@@ -73,7 +86,12 @@ def test_range_workload(once):
         num_events=300 if paper_scale() else 150,
     )
     table = once(lambda: run_range_workload_ablation(config))
-    archive_table("ablation_range_workload", table)
+    archive_table(
+        "ablation_range_workload",
+        table,
+        workload=config,
+        wall_clock_s=once.last_wall_clock_s,
+    )
     steps = dict(zip(table.column("range_probability"), table.column("mean_steps")))
     matches = dict(zip(table.column("range_probability"), table.column("mean_matches")))
     # Range tests are coarser: both work and match volume rise with range share.

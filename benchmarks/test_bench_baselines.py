@@ -29,7 +29,12 @@ def baseline_config() -> BaselineConfig:
 def test_network_loading_comparison(once):
     config = baseline_config()
     table = once(lambda: run_baseline_comparison(config))
-    archive_table("baseline_network_loading", table)
+    archive_table(
+        "baseline_network_loading",
+        table,
+        workload=config,
+        wall_clock_s=once.last_wall_clock_s,
+    )
     rows = {}
     for row in table.rows:
         by_column = dict(zip(table.columns, row))

@@ -32,8 +32,15 @@ def bursty_config() -> BurstyConfig:
 
 
 def test_bursty_loads(once):
-    table = once(lambda: run_bursty(bursty_config()))
-    archive_table("bursty_loads", table)
+    config = bursty_config()
+    table = once(lambda: run_bursty(config))
+    archive_table(
+        "bursty_loads",
+        table,
+        engine=config.engine,
+        workload=config,
+        wall_clock_s=once.last_wall_clock_s,
+    )
     queues = dict(zip(table.column("burstiness"), table.column("max_queue")))
     factors = sorted(queues)
     # Bursts at the same mean rate must queue at least as much as Poisson.

@@ -29,12 +29,19 @@ def chart1_config() -> Chart1Config:
 
 
 def test_chart1_saturation_points(once):
-    table = once(lambda: run_chart1(chart1_config()))
-    archive_table("chart1_saturation", table)
+    config = chart1_config()
+    table = once(lambda: run_chart1(config))
+    archive_table(
+        "chart1_saturation",
+        table,
+        engine=config.engine,
+        workload=config,
+        wall_clock_s=once.last_wall_clock_s,
+    )
     by_protocol = {}
     for count, protocol, rate, _probes in table.rows:
         by_protocol.setdefault(protocol, {})[count] = rate
-    for count in chart1_config().subscription_counts:
+    for count in config.subscription_counts:
         assert by_protocol["flooding"][count] < by_protocol["link-matching"][count], (
             f"flooding must saturate below link matching at {count} subscriptions"
         )

@@ -31,7 +31,13 @@ def chart2_config() -> Chart2Config:
 def test_chart2_matching_steps(once):
     config = chart2_config()
     table = once(lambda: run_chart2(config))
-    archive_table("chart2_matching_steps", table)
+    archive_table(
+        "chart2_matching_steps",
+        table,
+        engine=config.engine,
+        workload=config,
+        wall_clock_s=once.last_wall_clock_s,
+    )
     for row in table.rows:
         by_column = dict(zip(table.columns, row))
         lm_1 = by_column["lm_1_hop"]

@@ -24,7 +24,13 @@ def chart3_config() -> Chart3Config:
 def test_chart3_matching_time(once):
     config = chart3_config()
     table = once(lambda: run_chart3(config))
-    archive_table("chart3_matching_time", table)
+    archive_table(
+        "chart3_matching_time",
+        table,
+        engine=config.engine,
+        workload=config,
+        wall_clock_s=once.last_wall_clock_s,
+    )
     subs = table.column("subscriptions")
     steps = table.column("avg_steps")
     for i in range(1, len(subs)):

@@ -11,7 +11,7 @@ from __future__ import annotations
 import random
 
 from repro.core import ContentRoutedNetwork, TritVector
-from repro.matching import Event, SearchDag, build_pst
+from repro.matching import SearchDag, build_pst
 from repro.network import linear_chain
 from repro.workload import CHART1_SPEC, CHART2_SPEC, EventGenerator, SubscriptionGenerator
 

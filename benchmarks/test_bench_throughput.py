@@ -20,8 +20,15 @@ def throughput_config() -> ThroughputConfig:
 
 
 def test_broker_throughput(once):
-    table = once(lambda: run_throughput(throughput_config()))
-    archive_table("throughput", table)
+    config = throughput_config()
+    table = once(lambda: run_throughput(config))
+    archive_table(
+        "throughput",
+        table,
+        engine=config.engine,
+        workload=config,
+        wall_clock_s=once.last_wall_clock_s,
+    )
     for row in table.rows:
         by_column = dict(zip(table.columns, row))
         assert by_column["events_per_sec"] > 100

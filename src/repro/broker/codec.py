@@ -17,7 +17,7 @@ integers are big-endian ("network order").
 from __future__ import annotations
 
 import struct
-from typing import List, Tuple
+from typing import List
 
 from repro.errors import CodecError
 from repro.matching.events import Event

@@ -14,7 +14,7 @@ request).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import List, Mapping, Optional, Sequence, Union
 
 from repro.errors import SubscriptionError
 from repro.broker.codec import decode_event, encode_event

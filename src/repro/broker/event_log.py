@@ -16,7 +16,7 @@ reconnect.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator, List, Tuple
+from typing import List, Tuple
 
 from repro.errors import ProtocolError
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, Type
+from typing import Callable, Dict
 
 from repro.errors import CodecError
 from repro.broker.codec import ByteReader, ByteWriter

@@ -29,20 +29,20 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.errors import ProtocolError, RoutingError, TransportError
 from repro.broker import messages as wire
 from repro.broker.event_log import EventLog
 from repro.broker.transport import Connection, Listener, Transport
 from repro.core.router import ContentRouter
-from repro.matching.events import Event
 from repro.matching.parser import parse_predicate
 from repro.matching.predicates import Subscription
 from repro.matching.schema import AttributeValue, EventSchema
 from repro.network.paths import RoutingTable, all_routing_tables
 from repro.network.spanning import SpanningTree, spanning_trees_for_publishers
-from repro.network.topology import NodeKind, Topology
+from repro.network.topology import Topology
+from repro.obs import get_registry
 
 _global_subscription_ids = itertools.count(1_000_000)
 
@@ -147,6 +147,13 @@ class BrokerNode:
         self._acks_since_gc = 0
         self.events_routed = 0
         self.events_delivered = 0
+        # Observability mirrors of the dashboard counters (no-ops unless the
+        # global registry is enabled before the node is constructed).
+        obs = get_registry().scope("broker")
+        self._obs_routed = obs.counter("events_routed", broker=name)
+        self._obs_delivered = obs.counter("events_delivered", broker=name)
+        self._obs_subscribes = obs.counter("subscriptions_added", broker=name)
+        self._obs_unsubscribes = obs.counter("subscriptions_removed", broker=name)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -334,6 +341,7 @@ class BrokerNode:
         subscription_id = next(_global_subscription_ids)
         subscription = Subscription(predicate, client, subscription_id=subscription_id)
         self.router.add_subscription(subscription)
+        self._obs_subscribes.inc()
         self._seen_subscription_ids.add(subscription_id)
         self._flood_to_brokers(
             wire.SubPropagate(subscription_id, client, message.expression, self.name),
@@ -455,6 +463,7 @@ class BrokerNode:
         self.router.add_subscription(
             Subscription(predicate, message.subscriber, subscription_id=message.subscription_id)
         )
+        self._obs_subscribes.inc()
         self._flood_to_brokers(message, exclude=connection)
 
     def _handle_unsub_propagate(self, connection: Connection, message: wire.UnsubPropagate) -> None:
@@ -462,6 +471,7 @@ class BrokerNode:
             return
         self._seen_subscription_ids.discard(message.subscription_id)
         self.router.remove_subscription(message.subscription_id)
+        self._obs_unsubscribes.inc()
         self._flood_to_brokers(message, exclude=connection)
 
     def _handle_broker_event(self, message: wire.BrokerEvent) -> None:
@@ -473,6 +483,7 @@ class BrokerNode:
         event = decode_event(self.config.schema, event_data, publisher=publisher)
         decision = self.router.route(event, root)
         self.events_routed += 1
+        self._obs_routed.inc()
         for neighbor in decision.forward_to:
             connection = self._broker_connections.get(neighbor)
             if connection is None or not connection.is_open:
@@ -487,6 +498,7 @@ class BrokerNode:
         session = self._session_for(client)
         seq = session.log.append(event_data)
         self.events_delivered += 1
+        self._obs_delivered.inc()
         if session.is_connected:
             assert session.connection is not None
             session.connection.send(

@@ -25,7 +25,7 @@ import struct
 from collections import OrderedDict
 from typing import List, Tuple, Union
 
-from repro.errors import ProtocolError, TransportError
+from repro.errors import ProtocolError
 
 _RECORD_HEADER = struct.Struct(">QI")
 _WATERMARK = struct.Struct(">Q")

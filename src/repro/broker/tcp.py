@@ -21,7 +21,7 @@ import socket
 import struct
 import threading
 from collections import deque
-from typing import Deque, Dict, Optional, Tuple
+from typing import Deque, Optional, Tuple
 
 from repro.errors import ConnectionClosedError, TransportError
 from repro.broker.transport import AcceptHandler, Connection, Listener, Transport

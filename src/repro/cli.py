@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.experiments import (
     AblationConfig,
@@ -38,6 +38,8 @@ from repro.experiments import (
     run_throughput,
     run_virtual_link_ablation,
 )
+from repro.obs import metrics_output
+
 from repro.experiments.ascii_chart import (
     chart1_series,
     chart2_series,
@@ -55,6 +57,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--paper-scale",
         action="store_true",
         help="run at the paper's full parameters (slow)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="enable the observability registry and write its JSON snapshot "
+        "to PATH when the command finishes",
     )
     parser.add_argument(
         "--engine",
@@ -105,6 +114,7 @@ def _run_chart1(args: argparse.Namespace) -> None:
         probe_duration_s=args.probe_duration or (0.5 if args.paper_scale else 0.4),
         include_match_first=args.match_first,
         engine=args.engine,
+        metrics_out=args.metrics_out,
     )
     table = run_chart1(config)
     print(table.format())
@@ -127,6 +137,7 @@ def _run_chart2(args: argparse.Namespace) -> None:
         num_events=args.events or (1000 if args.paper_scale else 120),
         subscribers_per_broker=10 if args.paper_scale else 3,
         engine=args.engine,
+        metrics_out=args.metrics_out,
     )
     table = run_chart2(config)
     print(table.format())
@@ -147,6 +158,7 @@ def _run_chart3(args: argparse.Namespace) -> None:
         else ((1000, 5000, 10000, 25000) if args.paper_scale else Chart3Config().subscription_counts),
         num_events=args.events or (300 if args.paper_scale else 150),
         engine=args.engine,
+        metrics_out=args.metrics_out,
     )
     table = run_chart3(config)
     print(table.format())
@@ -165,6 +177,7 @@ def _run_throughput(args: argparse.Namespace) -> None:
         subscription_counts=(10, 100, 1000, 5000) if args.paper_scale else (10, 100, 1000),
         num_events=4000 if args.paper_scale else 1500,
         engine=args.engine,
+        metrics_out=args.metrics_out,
     )
     print(run_throughput(config).format())
 
@@ -179,6 +192,7 @@ def _run_bursty(args: argparse.Namespace) -> None:
         else (1.0, 2.0, 5.0, 10.0),
         duration_s=2.0 if args.paper_scale else 0.8,
         engine=args.engine,
+        metrics_out=args.metrics_out,
     )
     print(run_bursty(config).format())
 
@@ -283,7 +297,11 @@ _HANDLERS = {
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    _HANDLERS[args.command](args)
+    # The registry must be enabled before the handler builds its engines and
+    # protocols (instruments fetched while disabled stay no-ops), so the
+    # enable-write lifecycle wraps the whole handler.
+    with metrics_output(args.metrics_out):
+        _HANDLERS[args.command](args)
     return 0
 
 

@@ -28,6 +28,7 @@ from repro.matching.schema import AttributeValue, EventSchema
 from repro.network.paths import RoutingTable, all_routing_tables
 from repro.network.spanning import SpanningTree, spanning_trees_for_publishers
 from repro.network.topology import NodeKind, Topology
+from repro.obs import get_registry
 
 
 class DeliveryTrace:
@@ -218,6 +219,8 @@ class ContentRoutedNetwork:
         if root not in self.spanning_trees:
             raise RoutingError(f"no spanning tree rooted at {root!r}")
         trace = DeliveryTrace(event, root)
+        registry = get_registry()
+        registry.counter("fabric.events_published").inc()
         frontier: List[Tuple[str, int]] = [(root, 1)]
         visited: Set[str] = set()
         while frontier:
@@ -228,10 +231,14 @@ class ContentRoutedNetwork:
                 )
             visited.add(broker)
             decision = self.routers[broker].route(event, root)
+            # Chart 2's quantity at its source: trit-mask refinement steps
+            # spent at each hop distance from the publishing broker.
+            registry.counter("fabric.refinement_steps", hop=str(hop)).inc(decision.steps)
             trace.decisions[broker] = decision
             trace.broker_steps[broker] = decision.steps
             for client in decision.deliver_to:
                 trace.deliveries[client] = hop
+                registry.counter("fabric.deliveries", hop=str(hop)).inc()
             for neighbor in decision.forward_to:
                 trace.links_used.append((broker, neighbor))
                 frontier.append((neighbor, hop + 1))

@@ -20,7 +20,7 @@ measures via the ``steps`` counter.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.errors import RoutingError
 from repro.core.annotation import TreeAnnotation

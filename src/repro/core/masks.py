@@ -22,7 +22,7 @@ links collapse to the paper's simple one-trit-per-link scheme.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Tuple
 
 from repro.errors import RoutingError
 from repro.core.trits import M, N, TritVector

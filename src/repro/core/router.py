@@ -37,8 +37,9 @@ from repro.matching.pst import MatchResult
 from repro.matching.predicates import Subscription
 from repro.matching.schema import AttributeValue, EventSchema
 from repro.network.paths import RoutingTable
+from repro.obs import get_registry
 from repro.network.spanning import SpanningTree
-from repro.network.topology import NodeKind, Topology
+from repro.network.topology import Topology
 
 
 class RouteDecision:
@@ -130,6 +131,14 @@ class ContentRouter:
         self._annotations: Dict[int, Tuple[TreeAnnotation, LinkMatcher]] = {}
         self._programs: Dict[int, CompiledProgram] = {}
         self._dirty = True
+        # Observability (no-ops unless the global registry is enabled): route
+        # invocations and PST node visits (= matching steps) per broker.
+        registry = get_registry()
+        self._obs_routes = registry.counter("router.route_calls", broker=broker)
+        self._obs_steps = registry.counter("router.pst_node_visits", broker=broker)
+        self._obs_forwards = registry.counter("router.forwards", broker=broker)
+        self._obs_deliveries = registry.counter("router.local_deliveries", broker=broker)
+        self._obs_refreshes = registry.counter("router.annotation_refreshes", broker=broker)
 
     # ------------------------------------------------------------------
     # Subscription maintenance
@@ -181,6 +190,7 @@ class ContentRouter:
                 annotation.annotate(tree)
                 self._annotations[id(tree)] = (annotation, LinkMatcher(tree, annotation))
         self._dirty = False
+        self._obs_refreshes.inc()
 
     # ------------------------------------------------------------------
     # Routing
@@ -227,6 +237,10 @@ class ContentRouter:
                 deliver_to.append(neighbor)
             else:
                 forward_to.append(neighbor)
+        self._obs_routes.inc()
+        self._obs_steps.inc(final.steps)
+        self._obs_forwards.inc(len(forward_to))
+        self._obs_deliveries.inc(len(deliver_to))
         return RouteDecision(self.broker, forward_to, deliver_to, final.steps, final.mask)
 
     def _check_domains(self, event: Event) -> None:

@@ -15,17 +15,18 @@ Three studies, each isolating one Section 2.1 / Section 3 mechanism:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.masks import VirtualLinkTable
 from repro.experiments.tables import ExperimentTable
+from repro.obs import metrics_output
 from repro.matching.optimizations import FactoredMatcher, SearchDag
 from repro.matching.ordering import (
     declaration_order,
     order_by_fewest_dont_cares,
     reverse_declaration_order,
 )
-from repro.matching.pst import ParallelSearchTree, build_pst
+from repro.matching.pst import ParallelSearchTree
 from repro.network.figures import figure6_topology
 from repro.network.paths import all_routing_tables
 from repro.network.spanning import spanning_trees_for_publishers
@@ -39,6 +40,9 @@ class AblationConfig:
     num_subscriptions: int = 2000
     num_events: int = 300
     seed: int = 0
+    #: Optional path: write the global obs-registry JSON snapshot here
+    #: (honored by the config-taking ablations; the CLI flag covers all).
+    metrics_out: Optional[str] = None
 
 
 def _workload(config: AblationConfig) -> Tuple[List, List]:
@@ -52,6 +56,11 @@ def _workload(config: AblationConfig) -> Tuple[List, List]:
 
 def run_factoring_ablation(config: AblationConfig = AblationConfig()) -> ExperimentTable:
     """Matching steps and structure size per number of factored attributes."""
+    with metrics_output(config.metrics_out):
+        return _run_factoring_ablation(config)
+
+
+def _run_factoring_ablation(config: AblationConfig) -> ExperimentTable:
     table = ExperimentTable(
         "Ablation: factoring levels (Chart 1 workload)",
         ["factoring_levels", "mean_steps", "sub_trees", "total_nodes"],
@@ -86,6 +95,11 @@ def run_ordering_ablation(config: AblationConfig = AblationConfig()) -> Experime
     order is already near-optimal and the reversed order is the worst case —
     the heuristic should track the former and beat the latter.
     """
+    with metrics_output(config.metrics_out):
+        return _run_ordering_ablation(config)
+
+
+def _run_ordering_ablation(config: AblationConfig) -> ExperimentTable:
     table = ExperimentTable(
         "Ablation: PST attribute ordering",
         ["ordering", "mean_steps", "nodes"],

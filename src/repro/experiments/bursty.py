@@ -12,9 +12,10 @@ below the Poisson saturation point bursts consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.experiments.tables import ExperimentTable
+from repro.obs import metrics_output
 from repro.network.figures import figure6_topology
 from repro.protocols.base import ProtocolContext
 from repro.protocols.link_matching import LinkMatchingProtocol
@@ -40,10 +41,17 @@ class BurstyConfig:
     on_mean_s: float = 0.05
     seed: int = 0
     engine: str = "compiled"
+    #: Optional path: write the global obs-registry JSON snapshot here.
+    metrics_out: Optional[str] = None
 
 
 def run_bursty(config: BurstyConfig = BurstyConfig()) -> ExperimentTable:
     """One row per burstiness factor (1.0 = plain Poisson)."""
+    with metrics_output(config.metrics_out):
+        return _run_bursty(config)
+
+
+def _run_bursty(config: BurstyConfig) -> ExperimentTable:
     table = ExperimentTable(
         "Bursty loads: link matching at fixed mean rate, varying burstiness",
         [

@@ -7,7 +7,7 @@ the same rows the paper's charts plot without any plotting dependency.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Sequence
+from typing import Any, List, Sequence
 
 
 class ExperimentTable:

@@ -16,13 +16,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.broker.client import BrokerClient
 from repro.broker.engine import MatchingEngine
 from repro.broker.node import BrokerNetworkConfig, BrokerNode
 from repro.broker.transport import InMemoryTransport
 from repro.experiments.tables import ExperimentTable
+from repro.obs import metrics_output
 from repro.network.topology import NodeKind, Topology
 from repro.workload.generators import EventGenerator, SubscriptionGenerator
 from repro.workload.spec import WorkloadSpec
@@ -38,6 +39,8 @@ class ThroughputConfig:
     num_events: int = 2000
     seed: int = 0
     engine: str = "compiled"
+    #: Optional path: write the global obs-registry JSON snapshot here.
+    metrics_out: Optional[str] = None
 
 
 def _single_broker_topology(num_subscribers: int) -> Topology:
@@ -51,6 +54,11 @@ def _single_broker_topology(num_subscribers: int) -> Topology:
 
 def run_throughput(config: ThroughputConfig = ThroughputConfig()) -> ExperimentTable:
     """Measure full-pipeline events/sec and the matching share of the cost."""
+    with metrics_output(config.metrics_out):
+        return _run_throughput(config)
+
+
+def _run_throughput(config: ThroughputConfig) -> ExperimentTable:
     table = ExperimentTable(
         "Broker throughput (single prototype broker, in-memory transport)",
         [

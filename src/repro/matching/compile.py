@@ -48,7 +48,7 @@ owning engine performs a fresh :func:`compile_tree`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import RoutingError, SubscriptionError
 from repro.core.trits import (

@@ -27,6 +27,7 @@ from repro.core.annotation import LinkOfSubscriber, TreeAnnotation
 from repro.core.link_matcher import LinkMatcher, LinkMatchResult
 from repro.core.trits import TritVector, pack_tritvector, unpack_tritvector
 from repro.matching.base import MatcherEngine
+from repro.obs import get_registry
 from repro.matching.compile import CompiledProgram, compile_tree
 from repro.matching.events import Event
 from repro.matching.pst import MatchResult, ParallelSearchTree
@@ -56,6 +57,16 @@ class _EngineBase(MatcherEngine):
         )
         self._num_links: Optional[int] = None
         self._link_of_subscriber: Optional[LinkOfSubscriber] = None
+        # Instruments come from the global registry (no-ops unless an entry
+        # point enabled it before construction); fetched once here so the
+        # per-match cost is a method call, not a registry lookup.
+        registry = get_registry()
+        self._obs_matches = registry.counter("engine.matches", engine=self.name)
+        self._obs_match_steps = registry.counter("engine.match_steps", engine=self.name)
+        self._obs_link_matches = registry.counter("engine.link_matches", engine=self.name)
+        self._obs_link_match_steps = registry.counter(
+            "engine.link_match_steps", engine=self.name
+        )
 
     @property
     def subscriptions(self) -> List[Subscription]:
@@ -121,7 +132,10 @@ class TreeEngine(_EngineBase):
             self._annotation.update_path(self.tree, subscription.predicate)
 
     def match(self, event: Event) -> MatchResult:
-        return self.tree.match(event)
+        result = self.tree.match(event)
+        self._obs_matches.inc()
+        self._obs_match_steps.inc(result.steps)
+        return result
 
     def bind_links(
         self, num_links: int, link_of_subscriber: LinkOfSubscriber
@@ -142,8 +156,12 @@ class TreeEngine(_EngineBase):
             self._annotation = TreeAnnotation(self._num_links, self._link_of_subscriber)
             self._annotation.annotate(self.tree)
             self._link_matcher = LinkMatcher(self.tree, self._annotation)
+            get_registry().counter("engine.annotation_rebuilds", engine=self.name).inc()
         assert self._link_matcher is not None
-        return self._link_matcher.match_links(event, initialization_mask)
+        result = self._link_matcher.match_links(event, initialization_mask)
+        self._obs_link_matches.inc()
+        self._obs_link_match_steps.inc(result.steps)
+        return result
 
 
 class CompiledEngine(_EngineBase):
@@ -167,6 +185,11 @@ class CompiledEngine(_EngineBase):
         super().__init__(schema, attribute_order=attribute_order, domains=domains)
         self._program: Optional[CompiledProgram] = None
         self._annotation_dirty = False
+        registry = get_registry()
+        self._obs_compiles = registry.counter("engine.compiled.recompiles")
+        self._obs_patches = registry.counter("engine.compiled.patches")
+        self._obs_patch_bailouts = registry.counter("engine.compiled.patch_bailouts")
+        self._obs_waste_ratio = registry.gauge("engine.compiled.waste_ratio")
 
     def invalidate(self) -> None:
         """Drop the compiled form; the next match recompiles from the tree."""
@@ -181,6 +204,8 @@ class CompiledEngine(_EngineBase):
         if self._program is None:
             self._program = compile_tree(self.tree)
             self._annotation_dirty = self._num_links is not None
+            self._obs_compiles.inc()
+            self._obs_waste_ratio.set(0.0)
         return self._program
 
     def insert(self, subscription: Subscription) -> None:
@@ -193,13 +218,22 @@ class CompiledEngine(_EngineBase):
         return subscription
 
     def _patch_program(self, subscription: Subscription) -> None:
-        if self._program is not None and not self._program.patch(
-            self.tree, subscription.predicate
-        ):
+        if self._program is None:
+            return
+        if self._program.patch(self.tree, subscription.predicate):
+            self._obs_patches.inc()
+            self._obs_waste_ratio.set(
+                self._program.waste / max(1, self._program.node_count)
+            )
+        else:
+            self._obs_patch_bailouts.inc()
             self._program = None
 
     def match(self, event: Event) -> MatchResult:
-        return self._ensure_program().match(event)
+        result = self._ensure_program().match(event)
+        self._obs_matches.inc()
+        self._obs_match_steps.inc(result.steps)
+        return result
 
     def bind_links(
         self, num_links: int, link_of_subscriber: LinkOfSubscriber
@@ -218,8 +252,11 @@ class CompiledEngine(_EngineBase):
             assert self._link_of_subscriber is not None
             program.annotate(num_links, self._link_of_subscriber)
             self._annotation_dirty = False
+            get_registry().counter("engine.annotation_rebuilds", engine=self.name).inc()
         yes_bits, maybe_bits = pack_tritvector(initialization_mask)
         final_yes, steps = program.match_links(event, yes_bits, maybe_bits)
+        self._obs_link_matches.inc()
+        self._obs_link_match_steps.inc(steps)
         return LinkMatchResult(unpack_tritvector(final_yes, 0, num_links), steps)
 
 

@@ -48,7 +48,8 @@ from repro.errors import SubscriptionError
 from repro.matching.compile import CompiledProgram, compile_tree
 from repro.matching.events import Event
 from repro.matching.pst import MatchResult, ParallelSearchTree, PSTNode
-from repro.matching.predicates import DONT_CARE, EqualityTest, Subscription
+from repro.obs import get_registry
+from repro.matching.predicates import EqualityTest, Subscription
 from repro.matching.schema import AttributeValue, EventSchema
 
 _dag_ids = itertools.count(1)
@@ -145,6 +146,12 @@ class FactoredMatcher:
         self._by_id: Dict[int, Subscription] = {}
         self._keys_by_id: Dict[int, List[Tuple[AttributeValue, ...]]] = {}
         self._dirty = False
+        obs = get_registry()
+        label = f"factored-{engine}"
+        self._obs_matches = obs.counter("engine.matches", engine=label)
+        self._obs_match_steps = obs.counter("engine.match_steps", engine=label)
+        self._obs_index_misses = obs.counter("engine.factored.index_misses", engine=label)
+        self._obs_compiles = obs.counter("engine.factored.compiles", engine=label)
 
     # ------------------------------------------------------------------
 
@@ -287,15 +294,20 @@ class FactoredMatcher:
         self.compact()
         key = self.key_for_event(event)
         tree = self._trees.get(key)
+        self._obs_matches.inc()
         if tree is None:
+            self._obs_index_misses.inc()
+            self._obs_match_steps.inc()
             return MatchResult([], 1)
         if self.engine == "compiled":
             program = self._programs.get(key)
             if program is None:
                 program = self._programs[key] = compile_tree(tree)
+                self._obs_compiles.inc()
             result = program.match(event)
         else:
             result = tree.match(event)
+        self._obs_match_steps.inc(result.steps + 1)
         return MatchResult(result.subscriptions, result.steps + 1)
 
     def match_brute_force(self, event: Event) -> List[Subscription]:

@@ -14,7 +14,7 @@ pass as ``attribute_order`` to :class:`~repro.matching.pst.ParallelSearchTree`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence
 
 from repro.matching.predicates import Predicate
 from repro.matching.schema import EventSchema

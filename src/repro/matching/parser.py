@@ -23,7 +23,7 @@ against an :class:`~repro.matching.schema.EventSchema` and returns a
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
+from typing import Dict, List, NamedTuple, Sequence, Tuple, Union
 
 from repro.errors import ParseError
 from repro.matching.predicates import (
@@ -34,7 +34,7 @@ from repro.matching.predicates import (
     RangeOp,
     RangeTest,
 )
-from repro.matching.schema import AttributeValue, EventSchema
+from repro.matching.schema import EventSchema
 
 
 class TokenType(enum.Enum):

@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 import itertools
 import operator
-from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import PredicateError
 from repro.matching.events import Event

@@ -34,7 +34,6 @@ from __future__ import annotations
 
 import itertools
 from typing import (
-    Callable,
     Dict,
     FrozenSet,
     Iterable,
@@ -49,15 +48,7 @@ from typing import (
 
 from repro.errors import SubscriptionError
 from repro.matching.events import Event
-from repro.matching.predicates import (
-    DONT_CARE,
-    AttributeTest,
-    EqualityTest,
-    IntervalTest,
-    Predicate,
-    RangeTest,
-    Subscription,
-)
+from repro.matching.predicates import AttributeTest, EqualityTest, Predicate, Subscription
 from repro.matching.schema import AttributeValue, EventSchema
 
 _node_ids = itertools.count(1)

@@ -22,7 +22,7 @@ order), so mutation after distribution would corrupt routing state.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple, Union
 
 from repro.errors import SchemaError
 

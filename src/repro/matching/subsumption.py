@@ -17,7 +17,7 @@ normalized intervals with exclusions).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import PredicateError
 from repro.matching.predicates import (

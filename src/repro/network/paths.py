@@ -20,9 +20,9 @@ spanning tree.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.errors import RoutingError, TopologyError
+from repro.errors import RoutingError
 from repro.network.topology import Topology
 
 

@@ -15,11 +15,11 @@ links?*
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Mapping, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Set
 
 from repro.errors import RoutingError
 from repro.network.paths import ShortestPaths
-from repro.network.topology import NodeKind, Topology
+from repro.network.topology import Topology
 
 
 class SpanningTree:

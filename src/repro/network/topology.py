@@ -17,7 +17,7 @@ subscriptions".
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import TopologyError
 

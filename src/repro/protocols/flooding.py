@@ -21,10 +21,11 @@ exactly why flooding saturates first in Chart 1.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.matching.base import MatcherEngine
 from repro.matching.engines import create_engine
+from repro.obs import get_registry
 from repro.protocols.base import Decision, ProtocolContext, RoutingProtocol, SimMessage
 
 
@@ -36,6 +37,10 @@ class FloodingProtocol(RoutingProtocol):
     def __init__(self, context: ProtocolContext, *, filter_at_edge: bool = False) -> None:
         super().__init__(context)
         self.filter_at_edge = filter_at_edge
+        obs = get_registry().scope("protocol.flooding")
+        self._obs_handled = obs.counter("events_handled")
+        self._obs_deliveries = obs.counter("deliveries")
+        self._obs_wasted = obs.counter("wasted_deliveries")
         # Per-broker matcher over the subscriptions of *locally attached*
         # clients only: flooding needs no global knowledge, that is its one
         # virtue.
@@ -77,6 +82,9 @@ class FloodingProtocol(RoutingProtocol):
                 if client in self._subscriber_names
             ]
             steps = 0
+        self._obs_handled.inc()
+        self._obs_deliveries.inc(len(deliveries))
+        self._obs_wasted.inc(len(deliveries) - len(matched_clients))
         return Decision(
             sends=sends,
             deliveries=deliveries,

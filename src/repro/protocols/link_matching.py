@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.core.router import ContentRouter
+from repro.obs import get_registry
 from repro.protocols.base import Decision, ProtocolContext, RoutingProtocol, SimMessage
 
 
@@ -22,6 +23,9 @@ class LinkMatchingProtocol(RoutingProtocol):
 
     def __init__(self, context: ProtocolContext) -> None:
         super().__init__(context)
+        registry = get_registry()
+        self._obs = registry.scope("protocol.link_matching")
+        self._obs_handled = self._obs.counter("events_handled")
         self.routers: Dict[str, ContentRouter] = {}
         for broker in context.topology.brokers():
             router = ContentRouter(
@@ -41,6 +45,13 @@ class LinkMatchingProtocol(RoutingProtocol):
 
     def handle(self, broker: str, message: SimMessage) -> Decision:
         decision = self.routers[broker].route(message.event, message.root)
+        self._obs_handled.inc()
+        # Per-hop refinement accounting (Chart 2's quantity, as seen by the
+        # simulator): one labeled counter per hop distance is a single dict
+        # lookup, bounded by the network diameter.
+        hop = str(message.hop)
+        self._obs.counter("refinement_steps", hop=hop).inc(decision.steps)
+        self._obs.counter("deliveries", hop=hop).inc(len(decision.deliver_to))
         return Decision(
             sends=[(neighbor, message.forwarded()) for neighbor in decision.forward_to],
             deliveries=list(decision.deliver_to),

@@ -14,7 +14,7 @@ network (which adds hop delays) and the next queued message starts.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Callable, Deque, Optional
+from typing import TYPE_CHECKING, Deque
 
 from repro.protocols.base import Decision, RoutingProtocol, SimMessage
 from repro.sim.cost import CostModel
@@ -44,6 +44,14 @@ class SimBroker:
         self.queue: Deque[SimMessage] = deque()
         self.busy = False
         self.stats = BrokerStats(name)
+        # Per-broker instruments in the run's registry (the exported view of
+        # the same quantities BrokerStats keeps for the overload criterion).
+        obs = network.registry.scope("sim.broker")
+        self._obs_arrivals = obs.counter("arrivals", broker=name)
+        self._obs_processed = obs.counter("processed", broker=name)
+        self._obs_matching_steps = obs.counter("matching_steps", broker=name)
+        self._obs_messages_sent = obs.counter("messages_sent", broker=name)
+        self._obs_busy_ticks = obs.counter("busy_ticks", broker=name)
 
     @property
     def queue_length(self) -> int:
@@ -53,6 +61,7 @@ class SimBroker:
         """A message arrives on some incoming link (called by the network at
         the arrival instant)."""
         self.stats.arrivals += 1
+        self._obs_arrivals.inc()
         self.queue.append(message)
         if len(self.queue) > self.stats.max_queue:
             self.stats.max_queue = len(self.queue)
@@ -71,11 +80,15 @@ class SimBroker:
         service_ticks = max(1, us_to_ticks(service_us))
         self.stats.busy_ticks += service_ticks
         self.stats.matching_steps += decision.matching_steps
+        self._obs_busy_ticks.inc(service_ticks)
+        self._obs_matching_steps.inc(decision.matching_steps)
         self.simulator.schedule(service_ticks, lambda: self._finish(message, decision))
 
     def _finish(self, message: SimMessage, decision: Decision) -> None:
         self.stats.processed += 1
         self.stats.messages_sent += decision.send_count
+        self._obs_processed.inc()
+        self._obs_messages_sent.inc(decision.send_count)
         matched = set(decision.matched_deliveries)
         for neighbor, outgoing in decision.sends:
             self.network.transmit(self.name, neighbor, outgoing)

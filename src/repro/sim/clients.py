@@ -14,7 +14,7 @@ with the same long-run mean rate as a Poisson publisher of equal ``rate``.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import SimulationError
 from repro.matching.events import Event

@@ -6,11 +6,18 @@ processor can handle."  :class:`BrokerStats` keeps periodic queue-length
 samples plus utilization, and :meth:`BrokerStats.is_overloaded` implements
 the paper's criterion: sustained queue growth over the second half of the
 run combined with a saturated processor.
+
+Counting itself lives in the run's :mod:`repro.obs` registry (see
+:mod:`repro.sim.runner`); :class:`BrokerStats` remains the overload-criterion
+state — plain assignable integers, mirrored into the registry by
+:class:`~repro.sim.brokers.SimBroker` — and :class:`SimulationResult`
+carries the registry snapshot (:meth:`SimulationResult.counter_snapshot`)
+for export.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.sim.engine import TICK_US, ticks_to_seconds
 
@@ -132,6 +139,7 @@ class SimulationResult:
         published_events: int,
         aborted_overloaded: bool = False,
         link_bytes: Optional[Dict[Tuple[str, str], int]] = None,
+        metrics: Optional[Dict[str, Dict[str, Any]]] = None,
     ) -> None:
         self.elapsed_ticks = elapsed_ticks
         self.broker_stats = broker_stats
@@ -140,6 +148,15 @@ class SimulationResult:
         self.deliveries = deliveries
         self.published_events = published_events
         self.aborted_overloaded = aborted_overloaded
+        self._metrics = metrics if metrics is not None else {}
+
+    def counter_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """The run's :mod:`repro.obs` registry snapshot — per-link message
+        and byte counters, per-broker arrival/processing counters, the
+        delivery-latency and queue-depth histograms.  This is the
+        machine-readable block ``BENCH_*.json`` artifacts embed; empty when
+        the result was built by hand (unit tests)."""
+        return dict(self._metrics)
 
     @property
     def elapsed_seconds(self) -> float:

@@ -7,6 +7,13 @@ link's hop delay), delivery recording, and a periodic queue-length sampler
 :meth:`add_poisson_publisher` / :meth:`add_bursty_publisher`; then
 :meth:`run` drives the clock and returns a
 :class:`~repro.sim.metrics.SimulationResult`.
+
+Counting goes through a per-run :class:`~repro.obs.MetricsRegistry` (always
+enabled — these counters *are* the experiment's data, unlike the optional
+global registry): events published, messages and bytes per link, deliveries
+and their latency histogram, queue-depth samples.  The registry snapshot
+rides on the returned result (:meth:`SimulationResult.counter_snapshot`),
+which is what ``BENCH_*.json`` artifacts embed.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.matching.events import Event
+from repro.obs import Counter, MetricsRegistry
 from repro.protocols.base import RoutingProtocol, SimMessage
 from repro.sim.brokers import SimBroker
 from repro.sim.clients import BurstyPublisher, EventFactory, PoissonPublisher
@@ -23,6 +31,12 @@ from repro.sim.cost import DEFAULT_COST_MODEL, CostModel
 from repro.sim.engine import Simulator, ms_to_ticks, seconds_to_ticks
 from repro.sim.metrics import DeliveryRecord, SimulationResult
 from repro.network.topology import NodeKind, Topology
+
+#: Delivery-latency histogram boundaries (milliseconds).
+LATENCY_BUCKETS_MS = (0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000)
+
+#: Queue-depth histogram boundaries (messages waiting at sample time).
+QUEUE_DEPTH_BUCKETS = (0, 1, 2, 5, 10, 20, 50, 100, 200, 500)
 
 
 class NetworkSimulation:
@@ -36,6 +50,7 @@ class NetworkSimulation:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         seed: int = 0,
         queue_sample_interval_ms: float = 50.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         topology.validate()
         self.topology = topology
@@ -43,14 +58,22 @@ class NetworkSimulation:
         self.cost_model = cost_model
         self.simulator = Simulator()
         self.rng = random.Random(seed)
+        #: The run's own always-enabled registry (pass one in to share).
+        self.registry = registry if registry is not None else MetricsRegistry(enabled=True)
+        self._obs = self.registry.scope("sim")
+        self._obs_published = self._obs.counter("events.published")
+        self._obs_deliveries = self._obs.counter("deliveries.total")
+        self._obs_matched = self._obs.counter("deliveries.matched")
+        self._obs_latency = self._obs.histogram("delivery.latency_ms", LATENCY_BUCKETS_MS)
+        self._obs_queue_depth = self._obs.histogram("broker.queue_depth", QUEUE_DEPTH_BUCKETS)
+        # Per-link counters, cached by (src, dst) so transmit() pays one
+        # plain dict lookup, not a label-string render.
+        self._link_counters: Dict[Tuple[str, str], Tuple[Counter, Counter]] = {}
         self.brokers: Dict[str, SimBroker] = {
             name: SimBroker(self.simulator, name, protocol, cost_model, self)
             for name in topology.brokers()
         }
-        self.link_messages: Dict[Tuple[str, str], int] = {}
-        self.link_bytes: Dict[Tuple[str, str], int] = {}
         self.deliveries: List[DeliveryRecord] = []
-        self.published_events = 0
         self._publishers: List[object] = []
         self._sample_interval_ticks = max(1, ms_to_ticks(queue_sample_interval_ms))
         self._sampling = False
@@ -71,17 +94,37 @@ class NetworkSimulation:
         message = self.protocol.make_message(
             event, broker, publish_time_ticks=self.simulator.now
         )
-        self.published_events += 1
+        self._obs_published.inc()
         self.simulator.schedule(
             ms_to_ticks(link.latency_ms), lambda: self.brokers[broker].receive(message)
         )
 
+    @property
+    def published_events(self) -> int:
+        return self._obs_published.value
+
+    @property
+    def link_messages(self) -> Dict[Tuple[str, str], int]:
+        """Messages carried per broker-broker link (counter-backed view)."""
+        return {key: pair[0].value for key, pair in self._link_counters.items()}
+
+    @property
+    def link_bytes(self) -> Dict[Tuple[str, str], int]:
+        """Bytes carried per broker-broker link (counter-backed view)."""
+        return {key: pair[1].value for key, pair in self._link_counters.items()}
+
     def transmit(self, source: str, target: str, message: SimMessage) -> None:
         """Send a message over the broker-broker link (adds hop delay)."""
         link = self.topology.link_between(source, target)
-        key = (source, target)
-        self.link_messages[key] = self.link_messages.get(key, 0) + 1
-        self.link_bytes[key] = self.link_bytes.get(key, 0) + message.wire_size_bytes
+        counters = self._link_counters.get((source, target))
+        if counters is None:
+            counters = (
+                self._obs.counter("link.messages", src=source, dst=target),
+                self._obs.counter("link.bytes", src=source, dst=target),
+            )
+            self._link_counters[(source, target)] = counters
+        counters[0].inc()
+        counters[1].inc(message.wire_size_bytes)
         self.simulator.schedule(
             ms_to_ticks(link.latency_ms), lambda: self.brokers[target].receive(message)
         )
@@ -92,16 +135,19 @@ class NetworkSimulation:
         arrival = self.simulator.now + ms_to_ticks(link.latency_ms)
 
         def record() -> None:
-            self.deliveries.append(
-                DeliveryRecord(
-                    client,
-                    message.event.event_id,
-                    message.publish_time_ticks,
-                    arrival,
-                    matched,
-                    message.hop,
-                )
+            delivery = DeliveryRecord(
+                client,
+                message.event.event_id,
+                message.publish_time_ticks,
+                arrival,
+                matched,
+                message.hop,
             )
+            self.deliveries.append(delivery)
+            self._obs_deliveries.inc()
+            if matched:
+                self._obs_matched.inc()
+            self._obs_latency.observe(delivery.latency_ms)
 
         self.simulator.schedule_at(arrival, record)
 
@@ -157,6 +203,7 @@ class NetworkSimulation:
     def _sample_queues(self) -> None:
         for broker in self.brokers.values():
             broker.stats.record_queue(self.simulator.now, broker.queue_length)
+            self._obs_queue_depth.observe(broker.queue_length)
             if (
                 self._abort_queue_threshold is not None
                 and broker.queue_length > self._abort_queue_threshold
@@ -208,6 +255,7 @@ class NetworkSimulation:
             deliveries=list(self.deliveries),
             published_events=self.published_events,
             aborted_overloaded=self._aborted_overloaded,
+            metrics=self.registry.snapshot(),
         )
 
     def __repr__(self) -> str:

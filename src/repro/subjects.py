@@ -22,11 +22,10 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Tuple, Union
 
 from repro.core.fabric import ContentRoutedNetwork, DeliveryTrace
 from repro.errors import SchemaError, SubscriptionError
-from repro.matching.events import Event
 from repro.matching.predicates import EqualityTest, Predicate, Subscription
 from repro.matching.schema import Attribute, AttributeType, AttributeValue, EventSchema
 

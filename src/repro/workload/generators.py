@@ -21,7 +21,6 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.errors import SimulationError
 from repro.matching.events import Event
 from repro.matching.predicates import EqualityTest, Predicate, Subscription
-from repro.matching.schema import EventSchema
 from repro.workload.distributions import ZipfSampler, rotated
 from repro.workload.spec import WorkloadSpec
 

@@ -13,8 +13,8 @@ attribute is constrained with probability 0.98, decaying by a fixed factor
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import List
 
 from repro.errors import SimulationError
 from repro.matching.schema import EventSchema, uniform_schema

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.matching import Event, uniform_schema
 from repro.protocols import (

@@ -14,9 +14,8 @@ from repro.matching import (
     parse_predicate,
     uniform_schema,
 )
-from repro.matching.schema import AttributeType, EventSchema
+from repro.matching.schema import EventSchema
 
-import pytest
 
 SCHEMA = EventSchema([("name", "string"), ("price", "float"), ("qty", "integer")])
 

@@ -14,7 +14,6 @@ from repro.matching import (
     EqualityTest,
     Event,
     FactoredMatcher,
-    ParallelSearchTree,
     Predicate,
     SearchDag,
     Subscription,

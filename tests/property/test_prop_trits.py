@@ -7,7 +7,6 @@ from hypothesis import given, strategies as st
 from repro.core import (
     M,
     N,
-    Trit,
     TritVector,
     Y,
     alternative_combine,

@@ -6,8 +6,8 @@ import pytest
 
 from repro.core import ContentRoutedNetwork
 from repro.errors import RoutingError, TopologyError
-from repro.matching import Event, Predicate, uniform_schema
-from repro.network import NodeKind, Topology, linear_chain
+from repro.matching import Predicate, uniform_schema
+from repro.network import Topology, linear_chain
 
 SCHEMA = uniform_schema(2)
 

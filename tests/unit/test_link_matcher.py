@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import LinkMatcher, TreeAnnotation, TritVector
 from repro.errors import RoutingError
-from repro.matching import Event, ParallelSearchTree, build_pst
+from repro.matching import Event, build_pst
 from tests.conftest import make_subscription
 
 LINKS = {"l0": 0, "l1": 1, "l2": 2}

@@ -6,14 +6,7 @@ import pytest
 
 from repro.core import M, N, VirtualLinkTable
 from repro.errors import RoutingError
-from repro.network import (
-    RoutingTable,
-    SpanningTree,
-    Topology,
-    figure6_topology,
-    spanning_trees_for_publishers,
-)
-from repro.network.topology import NodeKind
+from repro.network import RoutingTable, Topology, figure6_topology, spanning_trees_for_publishers
 
 
 def table_for(topology: Topology, broker: str) -> VirtualLinkTable:

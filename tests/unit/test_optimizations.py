@@ -7,14 +7,7 @@ import random
 import pytest
 
 from repro.errors import SubscriptionError
-from repro.matching import (
-    Event,
-    FactoredMatcher,
-    ParallelSearchTree,
-    SearchDag,
-    build_pst,
-    uniform_schema,
-)
+from repro.matching import Event, FactoredMatcher, ParallelSearchTree, SearchDag, build_pst
 from tests.conftest import make_subscription
 
 DOMAINS = {f"a{i}": [0, 1, 2] for i in range(1, 6)}

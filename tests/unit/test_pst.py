@@ -15,8 +15,6 @@ from repro.matching import (
     RangeTest,
     Subscription,
     build_pst,
-    parse_predicate,
-    uniform_schema,
 )
 from tests.conftest import make_subscription
 

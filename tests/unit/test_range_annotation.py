@@ -9,7 +9,7 @@ import pytest
 
 from repro.core import ContentRoutedNetwork, M, N, TreeAnnotation, Y
 from repro.errors import RoutingError
-from repro.matching import ParallelSearchTree, build_pst, uniform_schema
+from repro.matching import build_pst, uniform_schema
 from repro.network import linear_chain
 from tests.conftest import make_subscription
 

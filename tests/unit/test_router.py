@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import ContentRouter
 from repro.errors import RoutingError
-from repro.matching import Event, uniform_schema
+from repro.matching import Event
 from repro.network import RoutingTable, spanning_trees_for_publishers
 from tests.conftest import make_subscription
 

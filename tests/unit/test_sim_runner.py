@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import random
 
 import pytest
 
@@ -10,8 +9,6 @@ from repro.errors import SimulationError
 from repro.matching import Event, uniform_schema
 from repro.protocols import LinkMatchingProtocol, ProtocolContext
 from repro.sim import NetworkSimulation, ms_to_ticks
-from repro.sim.clients import BurstyPublisher, PoissonPublisher
-from repro.sim.engine import Simulator
 from tests.conftest import make_subscription
 
 SCHEMA2 = uniform_schema(2)

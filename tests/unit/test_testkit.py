@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.matching import uniform_schema
 from repro.testkit import InMemoryBrokerHarness
