@@ -1,0 +1,260 @@
+"""Batched matching throughput: batch-size sweep with projection caching.
+
+Builds one Chart-1-spec compiled engine at a large subscription count and
+measures ``match_batch`` throughput across batch sizes against the
+single-event ``match()`` baseline (projection cache disabled, so the
+baseline is the raw per-event kernel).  Two event streams are swept:
+
+``cold``
+    Fresh random events — nearly every projection is new, so gains come
+    from the batched frontier kernel sharing node visits across the batch
+    (every event in a batch crosses the tree's upper levels together).
+
+``pooled``
+    Events drawn from a finite pool of distinct events, the hot-topic
+    shape real pub-sub traffic has.  Repeated projections are served from
+    the projection-keyed LRU cache; the table reports the steady-state
+    hit rate alongside the speedup.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/batch_scaling.py
+    PYTHONPATH=src python benchmarks/batch_scaling.py --batch 64 --min-speedup 1.3
+
+``--save`` archives the table under ``benchmarks/results/batch_scaling.txt``
+and emits ``BENCH_batch_scaling.json`` next to it.  ``--batch N
+--min-speedup X`` turns the script into the CI gate: exit code 1 unless the
+pooled-stream speedup at batch ``N`` is at least ``X``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import random
+import sys
+import time
+
+from repro.matching.engines import create_engine
+from repro.obs import bench as obs_bench
+from repro.obs import get_registry
+from repro.workload import CHART1_SPEC, EventGenerator, SubscriptionGenerator
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULTS_PATH = RESULTS_DIR / "batch_scaling.txt"
+STREAMS = ("cold", "pooled")
+
+
+def build_engine(subscriptions, *, cache=True):
+    spec = CHART1_SPEC
+    engine = create_engine(
+        "compiled",
+        spec.schema(),
+        domains=spec.domains(),
+        match_cache_capacity=None if cache else 0,
+    )
+    for subscription in subscriptions:
+        engine.insert(subscription)
+    return engine
+
+
+def make_streams(num_events, pool_size, seed):
+    """The two event streams, equal length: unique events vs a finite pool."""
+    event_generator = EventGenerator(CHART1_SPEC, seed=seed)
+    cold = [event_generator.event_for() for _ in range(num_events)]
+    pool = [event_generator.event_for() for _ in range(pool_size)]
+    rng = random.Random(seed + 1)
+    pooled = [pool[rng.randrange(pool_size)] for _ in range(num_events)]
+    return {"cold": cold, "pooled": pooled}
+
+
+def time_single(engine, events, repeats):
+    """Best seconds/event for the per-event ``match()`` loop."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for event in events:
+            engine.match(event)
+        best = min(best, time.perf_counter() - start)
+    return best / len(events)
+
+
+def time_batched(engine, events, batch, repeats):
+    """Best seconds/event for ``match_batch`` over ``batch``-sized chunks.
+
+    Returns ``(seconds_per_event, hit_rate)``.  The engine's projection
+    cache is flushed before *every* repeat, so each pass starts cold and
+    the hit rate measures reuse *within* the stream (the cold stream stays
+    near zero; the pooled stream's rate reflects its pool structure) rather
+    than trivial across-repeat replay.
+    """
+    cache = engine.program.match_cache
+    chunks = [events[i : i + batch] for i in range(0, len(events), batch)]
+    best = float("inf")
+    hit_rate = 0.0
+    for _ in range(repeats):
+        if cache is not None:
+            cache.flush()
+            hits0, misses0 = cache.hits, cache.misses
+        start = time.perf_counter()
+        for chunk in chunks:
+            engine.match_batch(chunk)
+        best = min(best, time.perf_counter() - start)
+        if cache is not None:
+            delta_hits = cache.hits - hits0
+            delta_total = delta_hits + (cache.misses - misses0)
+            hit_rate = delta_hits / delta_total if delta_total else 0.0
+    return best / len(events), hit_rate
+
+
+def run(subscriptions_count, num_events, pool_size, batch_sizes, repeats, seed):
+    """Sweep batch sizes over both streams; returns (rows, table text).
+
+    Each row is ``{stream, batch, per_event_us, speedup, hit_rate}`` where
+    ``speedup`` is against the uncached single-event baseline on the same
+    stream.
+    """
+    subscription_generator = SubscriptionGenerator(CHART1_SPEC, seed=seed)
+    subscriptions = subscription_generator.subscriptions_for(
+        ["client"], subscriptions_count
+    )
+    streams = make_streams(num_events, pool_size, seed + 10)
+
+    baseline_engine = build_engine(subscriptions, cache=False)
+    batched_engine = build_engine(subscriptions, cache=True)
+    # Warm up: force compilation of both programs outside the timed region.
+    baseline_engine.match(streams["cold"][0])
+    batched_engine.match(streams["cold"][0])
+
+    baselines = {
+        stream: time_single(baseline_engine, events, repeats)
+        for stream, events in streams.items()
+    }
+
+    header = f"{'stream':>8} {'batch':>6} {'per_event_us':>13} {'speedup':>8} {'hit_rate':>9}"
+    lines = [
+        f"subscriptions={subscriptions_count} events={num_events} "
+        f"pool={pool_size} repeats={repeats}",
+        "baseline (single-event match, cache off): "
+        + ", ".join(f"{s}={baselines[s] * 1e6:.1f}us" for s in STREAMS),
+        "",
+        header,
+        "-" * len(header),
+    ]
+    rows = []
+    for stream in STREAMS:
+        for batch in batch_sizes:
+            per_event, hit_rate = time_batched(
+                batched_engine, streams[stream], batch, repeats
+            )
+            speedup = baselines[stream] / per_event
+            rows.append(
+                {
+                    "stream": stream,
+                    "batch": batch,
+                    "per_event_us": per_event * 1e6,
+                    "speedup": speedup,
+                    "hit_rate": hit_rate,
+                }
+            )
+            lines.append(
+                f"{stream:>8} {batch:>6} {per_event * 1e6:>13.1f} "
+                f"{speedup:>7.2f}x {hit_rate:>9.2f}"
+            )
+    return rows, "\n".join(lines)
+
+
+def emit_bench(rows, args, directory):
+    payload = obs_bench.bench_payload(
+        "batch_scaling",
+        engine="compiled",
+        workload={
+            "spec": "CHART1_SPEC",
+            "subscriptions": args.subscriptions,
+            "events": args.events,
+            "pool": args.pool,
+            "batch_sizes": list(args.batch_sizes),
+            "repeats": args.repeats,
+            "seed": args.seed,
+        },
+        wall_clock_s=None,
+        metrics=get_registry(),
+        extra={"rows": rows},
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    return obs_bench.write_bench(payload, directory)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--subscriptions", type=int, default=25000,
+        help="subscription count (default: Chart 3's largest point)",
+    )
+    parser.add_argument("--events", type=int, default=512, help="events per stream")
+    parser.add_argument(
+        "--pool", type=int, default=32,
+        help="distinct events in the pooled stream (smaller = hotter cache)",
+    )
+    parser.add_argument(
+        "--batch-sizes", type=int, nargs="+", default=[1, 4, 16, 64, 256],
+        help="batch sizes to sweep",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best kept)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--save", action="store_true", help=f"write table to {RESULTS_PATH}")
+    parser.add_argument(
+        "--bench-out", metavar="DIR", default=None,
+        help="emit BENCH_batch_scaling.json into DIR (implied by --save)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=None, metavar="N",
+        help="perf gate: the batch size to check (use with --min-speedup)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="perf gate: exit 1 unless the pooled-stream speedup at batch N "
+        "(--batch) is at least X over the single-event baseline",
+    )
+    args = parser.parse_args(argv)
+    if args.batch is not None and args.batch not in args.batch_sizes:
+        args.batch_sizes = sorted(set(args.batch_sizes) | {args.batch})
+
+    get_registry().enable()  # before any engine exists, so instruments record
+    rows, table = run(
+        args.subscriptions, args.events, args.pool,
+        args.batch_sizes, args.repeats, args.seed,
+    )
+    print(table)
+    if args.save:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        RESULTS_PATH.write_text(table + "\n")
+        print(f"\nsaved to {RESULTS_PATH}")
+    if args.save or args.bench_out:
+        out_dir = pathlib.Path(args.bench_out) if args.bench_out else RESULTS_DIR
+        path = emit_bench(rows, args, out_dir)
+        print(f"bench artifact: {path}")
+
+    if args.min_speedup is not None:
+        if args.batch is None:
+            parser.error("--min-speedup requires --batch")
+        gate_row = next(
+            row for row in rows
+            if row["stream"] == "pooled" and row["batch"] == args.batch
+        )
+        if gate_row["speedup"] < args.min_speedup:
+            print(
+                f"PERF GATE FAILED: batched speedup {gate_row['speedup']:.2f}x "
+                f"< {args.min_speedup:.2f}x at batch {args.batch} (pooled stream)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"perf gate passed: {gate_row['speedup']:.2f}x >= "
+            f"{args.min_speedup:.2f}x at batch {args.batch} (pooled stream)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,11 +52,20 @@ def _metric_value(payload: Dict[str, Any], key: Optional[str]) -> Any:
 
 
 def _speedup_cell(payload: Dict[str, Any]) -> Any:
-    """compare_engines artifacts carry their sweep rows in ``extra``."""
+    """compare_engines/batch_scaling artifacts carry sweep rows in ``extra``.
+
+    The cell shows the sweep's headline row: the largest subscription count
+    (compare_engines) or the pooled stream's largest batch (batch_scaling).
+    """
     rows = payload.get("extra", {}).get("rows")
     if not rows:
         return ""
-    gate_row = max(rows, key=lambda row: row.get("subscriptions", 0))
+    if any("subscriptions" in row for row in rows):
+        gate_row = max(rows, key=lambda row: row.get("subscriptions", 0))
+    else:
+        gate_row = max(
+            rows, key=lambda row: (row.get("stream") == "pooled", row.get("batch", 0))
+        )
     speedup = gate_row.get("speedup")
     return f"{speedup:.2f}x" if isinstance(speedup, (int, float)) else ""
 

@@ -184,6 +184,26 @@ class BrokerClient:
         event = values if isinstance(values, Event) else Event(self.schema, values)
         connection.send(wire.encode_message(wire.Publish(encode_event(event))))
 
+    def publish_many(
+        self, batch: List[Union[Event, Mapping[str, AttributeValue]]]
+    ) -> None:
+        """Publish a batch of events in one ``PUBLISH_BATCH`` wire message.
+
+        The broker ingests all of them together and routes them through its
+        batched matching path; per-event delivery semantics are identical to
+        calling :meth:`publish` in a loop.
+        """
+        if not batch:
+            return
+        connection = self._require_connection()
+        blobs = tuple(
+            encode_event(
+                values if isinstance(values, Event) else Event(self.schema, values)
+            )
+            for values in batch
+        )
+        connection.send(wire.encode_message(wire.PublishBatch(blobs)))
+
     def ack(self, seq: int) -> None:
         """Acknowledge processing up to ``seq`` (automatic by default)."""
         connection = self._require_connection()

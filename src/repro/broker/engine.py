@@ -114,5 +114,20 @@ class MatchingEngine:
         """Parse-then-match in one call, as the broker's hot path does."""
         return self.match(self.parse_event(data, publisher=publisher))
 
+    def match_batch(self, events: Sequence[Event]) -> List[MatchResult]:
+        """Match a batch of events through the matcher's batch kernel.
+
+        Result ``i`` is exactly ``match(events[i])``.
+        """
+        return self.matcher.match_batch(events)
+
+    def match_data_batch(
+        self, blobs: Sequence[bytes], *, publisher: str = ""
+    ) -> List[MatchResult]:
+        """Parse-then-match a batch of wire events in one call."""
+        return self.match_batch(
+            [self.parse_event(data, publisher=publisher) for data in blobs]
+        )
+
     def __repr__(self) -> str:
         return f"MatchingEngine({self.subscription_count} subscriptions)"

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Tuple
 
 from repro.errors import CodecError
 from repro.broker.codec import ByteReader, ByteWriter
@@ -42,6 +42,8 @@ class MessageType(enum.IntEnum):
     SUB_PROPAGATE = 13
     UNSUB_PROPAGATE = 14
     ERROR = 15
+    BROKER_EVENT_BATCH = 16
+    PUBLISH_BATCH = 17
 
 
 @dataclass(frozen=True)
@@ -120,6 +122,31 @@ class BrokerEvent:
 
 
 @dataclass(frozen=True)
+class BrokerEventBatch:
+    """A coalesced batch of events in transit on one spanning tree.
+
+    Emitted when a broker's batched route decides to forward several events
+    over the same link: one wire message (and one framing/syscall round)
+    carries them all.  ``entries`` are ``(publisher, event_data)`` pairs in
+    arrival order.
+    """
+
+    root: str
+    entries: Tuple[Tuple[str, bytes], ...]
+
+
+@dataclass(frozen=True)
+class PublishBatch:
+    """Client → broker: publish several events in one message.
+
+    The broker enqueues all of them and drains its ingest queue through the
+    batched matching path.
+    """
+
+    events: Tuple[bytes, ...]
+
+
+@dataclass(frozen=True)
 class SubPropagate:
     subscription_id: int
     subscriber: str
@@ -152,6 +179,8 @@ _TYPE_OF = {
     Disconnect: MessageType.DISCONNECT,
     BrokerHello: MessageType.BROKER_HELLO,
     BrokerEvent: MessageType.BROKER_EVENT,
+    BrokerEventBatch: MessageType.BROKER_EVENT_BATCH,
+    PublishBatch: MessageType.PUBLISH_BATCH,
     SubPropagate: MessageType.SUB_PROPAGATE,
     UnsubPropagate: MessageType.UNSUB_PROPAGATE,
     ErrorReply: MessageType.ERROR,
@@ -185,6 +214,14 @@ def encode_message(message: object) -> bytes:
     elif isinstance(message, BrokerEvent):
         writer.string(message.root).string(message.publisher)
         writer.u32(len(message.event_data)).raw(message.event_data)
+    elif isinstance(message, BrokerEventBatch):
+        writer.string(message.root).u32(len(message.entries))
+        for publisher, event_data in message.entries:
+            writer.string(publisher).u32(len(event_data)).raw(event_data)
+    elif isinstance(message, PublishBatch):
+        writer.u32(len(message.events))
+        for event_data in message.events:
+            writer.u32(len(event_data)).raw(event_data)
     elif isinstance(message, SubPropagate):
         writer.u64(message.subscription_id).string(message.subscriber)
         writer.string(message.expression).string(message.origin)
@@ -214,6 +251,18 @@ def _read_blob(reader: ByteReader) -> bytes:
     return reader._take(length)  # noqa: SLF001 - codec-internal access
 
 
+def _read_broker_event_batch(reader: ByteReader) -> BrokerEventBatch:
+    root = reader.string()
+    count = reader.u32()
+    entries = tuple((reader.string(), _read_blob(reader)) for _ in range(count))
+    return BrokerEventBatch(root, entries)
+
+
+def _read_publish_batch(reader: ByteReader) -> PublishBatch:
+    count = reader.u32()
+    return PublishBatch(tuple(_read_blob(reader) for _ in range(count)))
+
+
 _DECODERS: Dict[MessageType, Callable[[ByteReader], object]] = {
     MessageType.CONNECT: lambda r: Connect(r.string(), r.u64()),
     MessageType.CONNACK: lambda r: ConnAck(r.string(), r.u32()),
@@ -227,6 +276,8 @@ _DECODERS: Dict[MessageType, Callable[[ByteReader], object]] = {
     MessageType.DISCONNECT: lambda r: Disconnect(),
     MessageType.BROKER_HELLO: lambda r: BrokerHello(r.string()),
     MessageType.BROKER_EVENT: lambda r: BrokerEvent(r.string(), r.string(), _read_blob(r)),
+    MessageType.BROKER_EVENT_BATCH: _read_broker_event_batch,
+    MessageType.PUBLISH_BATCH: _read_publish_batch,
     MessageType.SUB_PROPAGATE: lambda r: SubPropagate(r.u64(), r.string(), r.string(), r.string()),
     MessageType.UNSUB_PROPAGATE: lambda r: UnsubPropagate(r.u64(), r.string()),
     MessageType.ERROR: lambda r: ErrorReply(r.u32(), r.string()),

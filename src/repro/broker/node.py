@@ -29,7 +29,8 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Dict, List, Mapping, Optional, Sequence, Set
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import ProtocolError, RoutingError, TransportError
 from repro.broker import messages as wire
@@ -109,9 +110,12 @@ class BrokerNode:
         *,
         gc_interval_acks: int = 64,
         log_directory: Optional[str] = None,
+        ingest_batch_size: int = 64,
     ) -> None:
         if name not in config.topology.brokers():
             raise ProtocolError(f"{name!r} is not a broker in the topology")
+        if ingest_batch_size < 1:
+            raise ProtocolError("ingest_batch_size must be >= 1")
         self.config = config
         self.name = name
         self.transport = transport
@@ -145,6 +149,12 @@ class BrokerNode:
         self._seen_subscription_ids: Set[int] = set()
         self._gc_interval_acks = max(1, gc_interval_acks)
         self._acks_since_gc = 0
+        #: Pending (event_data, root, publisher) triples awaiting routing;
+        #: drained in batches of up to ``ingest_batch_size`` through the
+        #: router's batched matching path.
+        self.ingest_batch_size = ingest_batch_size
+        self._ingest: Deque[Tuple[bytes, str, str]] = deque()
+        self._draining = False
         self.events_routed = 0
         self.events_delivered = 0
         # Observability mirrors of the dashboard counters (no-ops unless the
@@ -154,6 +164,8 @@ class BrokerNode:
         self._obs_delivered = obs.counter("events_delivered", broker=name)
         self._obs_subscribes = obs.counter("subscriptions_added", broker=name)
         self._obs_unsubscribes = obs.counter("subscriptions_removed", broker=name)
+        self._obs_ingest_batches = obs.counter("ingest_batches", broker=name)
+        self._obs_coalesced_sends = obs.counter("coalesced_sends", broker=name)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -281,6 +293,10 @@ class BrokerNode:
             self._handle_disconnect(connection)
         elif isinstance(message, wire.BrokerEvent):
             self._handle_broker_event(message)
+        elif isinstance(message, wire.BrokerEventBatch):
+            self._handle_broker_event_batch(message)
+        elif isinstance(message, wire.PublishBatch):
+            self._handle_publish_batch(connection, message)
         elif isinstance(message, wire.SubPropagate):
             self._handle_sub_propagate(connection, message)
         elif isinstance(message, wire.UnsubPropagate):
@@ -394,7 +410,25 @@ class BrokerNode:
                 )
             )
             return
-        self._route_event(message.event_data, root=self.name, publisher=client)
+        self._enqueue_event(message.event_data, root=self.name, publisher=client)
+
+    def _handle_publish_batch(
+        self, connection: Connection, message: wire.PublishBatch
+    ) -> None:
+        client = self._client_name_of(connection)
+        if client is None:
+            connection.send(wire.encode_message(wire.ErrorReply(0, "not connected")))
+            return
+        if self.name not in self.config.spanning_trees:
+            connection.send(
+                wire.encode_message(
+                    wire.ErrorReply(0, f"broker {self.name!r} hosts no declared publisher")
+                )
+            )
+            return
+        for event_data in message.events:
+            self._ingest.append((event_data, self.name, client))
+        self._drain_ingest()
 
     def _handle_ack(self, connection: Connection, message: wire.Ack) -> None:
         client = self._client_name_of(connection)
@@ -475,24 +509,90 @@ class BrokerNode:
         self._flood_to_brokers(message, exclude=connection)
 
     def _handle_broker_event(self, message: wire.BrokerEvent) -> None:
-        self._route_event(message.event_data, root=message.root, publisher=message.publisher)
+        self._enqueue_event(
+            message.event_data, root=message.root, publisher=message.publisher
+        )
 
-    def _route_event(self, event_data: bytes, *, root: str, publisher: str) -> None:
+    def _handle_broker_event_batch(self, message: wire.BrokerEventBatch) -> None:
+        for publisher, event_data in message.entries:
+            self._ingest.append((event_data, message.root, publisher))
+        self._drain_ingest()
+
+    def _enqueue_event(self, event_data: bytes, *, root: str, publisher: str) -> None:
+        self._ingest.append((event_data, root, publisher))
+        self._drain_ingest()
+
+    def _drain_ingest(self) -> None:
+        """Route everything queued, in batches of up to ``ingest_batch_size``.
+
+        Re-entrant calls (a handler enqueuing while a drain is in progress)
+        just leave their entries on the queue; the outer drain picks them up.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            while self._ingest:
+                count = min(self.ingest_batch_size, len(self._ingest))
+                self._route_entries([self._ingest.popleft() for _ in range(count)])
+        finally:
+            self._draining = False
+
+    def _route_entries(self, entries: List[Tuple[bytes, str, str]]) -> None:
+        """Route one ingest batch: batched refinement, coalesced forwarding.
+
+        Entries are grouped by spanning-tree root for the router's
+        :meth:`~repro.core.router.ContentRouter.route_batch`; forwards are
+        then coalesced so each neighbor link carries one
+        :class:`~repro.broker.messages.BrokerEventBatch` per root instead of
+        one message per event.  Per-event decisions, deliveries and event-log
+        appends are identical to the one-at-a-time path.
+        """
         from repro.broker.codec import decode_event
 
-        event = decode_event(self.config.schema, event_data, publisher=publisher)
-        decision = self.router.route(event, root)
-        self.events_routed += 1
-        self._obs_routed.inc()
-        for neighbor in decision.forward_to:
+        self._obs_ingest_batches.inc()
+        events = [
+            decode_event(self.config.schema, event_data, publisher=publisher)
+            for event_data, _root, publisher in entries
+        ]
+        by_root: Dict[str, List[int]] = {}
+        for i, (_event_data, root, _publisher) in enumerate(entries):
+            group = by_root.get(root)
+            if group is None:
+                by_root[root] = [i]
+            else:
+                group.append(i)
+        decisions = [None] * len(entries)
+        for root, indices in by_root.items():
+            routed = self.router.route_batch([events[i] for i in indices], root)
+            for i, decision in zip(indices, routed):
+                decisions[i] = decision
+        self.events_routed += len(entries)
+        self._obs_routed.inc(len(entries))
+        # neighbor -> root -> (publisher, event_data) pairs, in batch order.
+        forwards: Dict[str, Dict[str, List[Tuple[str, bytes]]]] = {}
+        for (event_data, root, publisher), decision in zip(entries, decisions):
+            assert decision is not None
+            for neighbor in decision.forward_to:
+                per_root = forwards.setdefault(neighbor, {})
+                per_root.setdefault(root, []).append((publisher, event_data))
+            for client in decision.deliver_to:
+                self._deliver_to_client(client, event_data)
+        for neighbor, per_root in forwards.items():
             connection = self._broker_connections.get(neighbor)
             if connection is None or not connection.is_open:
                 continue  # neighbor down; the simulator studies this, not the prototype
-            connection.send(
-                wire.encode_message(wire.BrokerEvent(root, publisher, event_data))
-            )
-        for client in decision.deliver_to:
-            self._deliver_to_client(client, event_data)
+            for root, batch in per_root.items():
+                if len(batch) == 1:
+                    publisher, event_data = batch[0]
+                    connection.send(
+                        wire.encode_message(wire.BrokerEvent(root, publisher, event_data))
+                    )
+                else:
+                    connection.send(
+                        wire.encode_message(wire.BrokerEventBatch(root, tuple(batch)))
+                    )
+                    self._obs_coalesced_sends.inc()
 
     def _deliver_to_client(self, client: str, event_data: bytes) -> None:
         session = self._session_for(client)

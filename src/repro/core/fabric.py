@@ -244,6 +244,73 @@ class ContentRoutedNetwork:
                 frontier.append((neighbor, hop + 1))
         return trace
 
+    def publish_batch(
+        self,
+        publisher: str,
+        events: Sequence[Union[Event, Mapping[str, AttributeValue]]],
+    ) -> List[DeliveryTrace]:
+        """Route a batch of events from ``publisher`` in one tree walk.
+
+        Trace ``i`` is exactly ``publish(publisher, events[i])``.  The walk
+        visits each broker once with the subset of events that reached it
+        (a broker is only ever reached through its spanning-tree parent, so
+        subsets never split across visits) and routes that subset through
+        :meth:`ContentRouter.route_batch`, which amortizes refinement across
+        events sharing tested-attribute projections.
+        """
+        if not events:
+            return []
+        node = self.topology.node(publisher)
+        if node.kind is not NodeKind.PUBLISHER:
+            raise RoutingError(f"{publisher!r} is not a publisher client")
+        batch: List[Event] = [
+            event
+            if isinstance(event, Event)
+            else Event(self.schema, event, publisher=publisher)
+            for event in events
+        ]
+        root = self.topology.broker_of(publisher)
+        if root not in self.spanning_trees:
+            raise RoutingError(f"no spanning tree rooted at {root!r}")
+        traces = [DeliveryTrace(event, root) for event in batch]
+        registry = get_registry()
+        registry.counter("fabric.events_published").inc(len(batch))
+        # Frontier entries carry (broker, hop, indices of events that reached
+        # it); forwarding splits the subset by next-hop neighbor.
+        frontier: List[Tuple[str, int, List[int]]] = [(root, 1, list(range(len(batch))))]
+        visited: Set[str] = set()
+        while frontier:
+            broker, hop, indices = frontier.pop()
+            if broker in visited:
+                raise RoutingError(
+                    f"broker {broker!r} visited twice — spanning tree violation"
+                )
+            visited.add(broker)
+            decisions = self.routers[broker].route_batch(
+                [batch[i] for i in indices], root
+            )
+            by_neighbor: Dict[str, List[int]] = {}
+            for i, decision in zip(indices, decisions):
+                trace = traces[i]
+                registry.counter("fabric.refinement_steps", hop=str(hop)).inc(
+                    decision.steps
+                )
+                trace.decisions[broker] = decision
+                trace.broker_steps[broker] = decision.steps
+                for client in decision.deliver_to:
+                    trace.deliveries[client] = hop
+                    registry.counter("fabric.deliveries", hop=str(hop)).inc()
+                for neighbor in decision.forward_to:
+                    trace.links_used.append((broker, neighbor))
+                    group = by_neighbor.get(neighbor)
+                    if group is None:
+                        by_neighbor[neighbor] = [i]
+                    else:
+                        group.append(i)
+            for neighbor, group in by_neighbor.items():
+                frontier.append((neighbor, hop + 1, group))
+        return traces
+
     def centralized_match(self, publisher: str, event: Union[Event, Mapping[str, AttributeValue]]) -> MatchResult:
         """The Section 2 alternative: one full match at the publishing broker
         (the "centralized" line of Chart 2 and the first stage of the

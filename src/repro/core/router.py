@@ -229,6 +229,66 @@ class ContentRouter:
                 if annotation_pair is None:
                     raise RoutingError("matcher tree appeared after annotation refresh")
                 final = annotation_pair[1].match_links(event, mask)
+        return self._decision_for(final)
+
+    def route_batch(self, events: Sequence[Event], tree_root: str) -> List[RouteDecision]:
+        """Route a batch of events traveling on the same spanning tree.
+
+        Decision ``i`` is exactly ``route(events[i], tree_root)``; the batch
+        entry point exists so the engine's deduplicating, cache-backed
+        :meth:`~repro.matching.base.MatcherEngine.match_links_batch` (and,
+        on the factored path, per-sub-tree grouping) can amortize the
+        refinement across the batch.
+        """
+        if not events:
+            return []
+        for event in events:
+            self._check_domains(event)
+        mask = self.links.initialization_mask(tree_root)
+        if self._factored is None:
+            assert self._engine is not None
+            finals: List[LinkMatchResult] = self._engine.match_links_batch(events, mask)
+            return [self._decision_for(final) for final in finals]
+        self._factored.compact()
+        if self._dirty:
+            self._refresh_annotations()
+        results: List[Optional[LinkMatchResult]] = [None] * len(events)
+        # Group by selected sub-tree so each compiled program refines its
+        # events in one batch (sharing that program's link cache).
+        groups: Dict[int, Tuple[object, List[int]]] = {}
+        for i, event in enumerate(events):
+            tree = self._factored.tree_for_event(event)
+            if tree is None:
+                results[i] = LinkMatchResult(mask.close_maybes(), 1)
+                continue
+            entry = groups.get(id(tree))
+            if entry is None:
+                groups[id(tree)] = (tree, [i])
+            else:
+                entry[1].append(i)
+        if self.engine == "compiled":
+            yes_bits, maybe_bits = pack_tritvector(mask)
+            for tree_id, (tree, indices) in groups.items():
+                program = self._programs.get(tree_id)
+                if program is None:
+                    raise RoutingError("matcher tree appeared after annotation refresh")
+                packed = program.match_links_batch(
+                    [events[i] for i in indices], yes_bits, maybe_bits
+                )
+                for i, (final_yes, steps) in zip(indices, packed):
+                    results[i] = LinkMatchResult(
+                        unpack_tritvector(final_yes, 0, self.links.num_links), steps
+                    )
+        else:
+            for tree_id, (_tree, indices) in groups.items():
+                annotation_pair = self._annotations.get(tree_id)
+                if annotation_pair is None:
+                    raise RoutingError("matcher tree appeared after annotation refresh")
+                for i in indices:
+                    results[i] = annotation_pair[1].match_links(events[i], mask)
+        return [self._decision_for(final) for final in results]
+
+    def _decision_for(self, final: LinkMatchResult) -> RouteDecision:
         neighbors = self.links.neighbors_for_mask(final.mask)
         forward_to: List[str] = []
         deliver_to: List[str] = []
@@ -260,6 +320,10 @@ class ContentRouter:
         the centralized algorithm of Section 2, used by the match-first and
         flooding baselines and by Chart 2's "centralized" line."""
         return self.matcher.match(event)
+
+    def match_locally_batch(self, events: Sequence[Event]) -> List[MatchResult]:
+        """Batch form of :meth:`match_locally` (same per-event results)."""
+        return self.matcher.match_batch(events)
 
     def __repr__(self) -> str:
         return (

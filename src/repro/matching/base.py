@@ -10,7 +10,7 @@ and gives a single place to explain the semantics.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Sequence
 
 from repro.matching.events import Event
 from repro.matching.pst import MatchResult
@@ -46,6 +46,16 @@ class Matcher(abc.ABC):
     @abc.abstractmethod
     def match(self, event: Event) -> MatchResult:
         """Find all satisfied subscriptions."""
+
+    def match_batch(self, events: Sequence[Event]) -> List[MatchResult]:
+        """Match a batch of events.
+
+        Result ``i`` is exactly ``match(events[i])`` — same match set, same
+        step count.  This base fallback just loops; engines with a real
+        batched kernel (``CompiledEngine``) override it to amortize
+        traversal across the batch and hit the projection cache.
+        """
+        return [self.match(event) for event in events]
 
     @property
     @abc.abstractmethod
@@ -94,15 +104,26 @@ class MatcherEngine(Matcher):
         """Run the Section 3.3 refinement search; requires a prior
         :meth:`bind_links`."""
 
+    def match_links_batch(
+        self, events: Sequence[Event], initialization_mask: "TritVector"
+    ) -> List["LinkMatchResult"]:
+        """Refine one shared initialization mask for a batch of events.
 
-# The concrete matchers satisfy the interface structurally; register them so
-# isinstance checks work without forcing inheritance into the hot classes.
+        Result ``i`` is exactly ``match_links(events[i], mask)``.  This base
+        fallback loops; ``CompiledEngine`` overrides it with the
+        deduplicating, cache-backed batch path.
+        """
+        return [self.match_links(event, initialization_mask) for event in events]
+
+
+# ParallelSearchTree satisfies the interface structurally; register it so
+# isinstance checks work without forcing inheritance into the hot class.
+# (FactoredMatcher subclasses Matcher directly to inherit the match_batch
+# fallback.)
 def _register_implementations() -> None:
-    from repro.matching.optimizations import FactoredMatcher
     from repro.matching.pst import ParallelSearchTree
 
     Matcher.register(ParallelSearchTree)
-    Matcher.register(FactoredMatcher)
 
 
 _register_implementations()

@@ -44,11 +44,32 @@ selected by the changed predicate (the same walk as
 and repointing the slice bounds.  Superseded slices become garbage; when the
 accumulated waste outgrows the live structure, ``patch`` refuses and the
 owning engine performs a fresh :func:`compile_tree`.
+
+**Batching and the projection cache.**  The kernels only ever read an event
+at the *tested* attribute positions (the ``event_pos`` values of live
+nodes), so two events that agree on that projection provably take the same
+path through the arrays and produce the same matches, step counts, and
+refined link masks.  Two mechanisms exploit this:
+
+* :meth:`CompiledProgram.match_batch` — a batched kernel that walks the
+  arrays with a frontier of ``(node, event-subset)`` pairs, so events
+  sharing value-branch prefixes traverse the shared nodes once; subsets
+  that narrow to a single event fall back to the single-event inner loop.
+* a per-program :class:`ProjectionCache` — a bounded LRU keyed by the
+  tested-attribute projection (plus the packed initialization mask for link
+  matching) that memoizes whole match results across calls.  The cache
+  lives on the program, so a full recompile starts empty by construction;
+  :meth:`CompiledProgram.patch` flushes it explicitly (a patched program
+  answers differently for the same projection) and charges the discarded
+  residency toward the waste that triggers a full recompile.  Hit, miss,
+  and flush counts are exported through :mod:`repro.obs` as
+  ``match.cache.hit`` / ``match.cache.miss`` / ``match.cache.flush``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import RoutingError, SubscriptionError
 from repro.core.trits import (
@@ -64,10 +85,99 @@ from repro.matching.predicates import (
 )
 from repro.matching.pst import MatchResult, ParallelSearchTree, PSTNode
 from repro.matching.schema import AttributeValue
+from repro.obs import get_registry
 
 #: Maps a subscription to the broker-local (virtual) link position through
 #: which its subscriber is best reached (same contract as TreeAnnotation's).
 LinkOfSubscriber = Callable[[Subscription], int]
+
+#: Default capacity of each per-program projection cache; 0 disables caching.
+DEFAULT_MATCH_CACHE_CAPACITY = 4096
+
+#: Fraction of flushed cache entries charged to patch waste: a patch that
+#: discards a hot cache is costing real work the structural waste metric
+#: cannot see, so residency pushes the program toward a compact recompile.
+_CACHE_RESIDENCY_WASTE_SHIFT = 2  # charge = flushed_entries >> 2
+
+#: Below this subset width the batched frontier kernel stops splitting and
+#: runs the single-event inner loop per member: partitioning a narrow subset
+#: at a value table costs more than the node visits it would deduplicate.
+_MIN_SHARED_MEMBERS = 8
+
+
+class ProjectionCache:
+    """A bounded LRU from tested-attribute projections to match results.
+
+    Keys are whatever the owning program derives from an event (the
+    projection tuple for matching; ``(projection, yes_bits, maybe_bits)``
+    for link matching) — the cache itself only orders and bounds entries.
+    ``hits`` / ``misses`` / ``flushes`` are plain-int mirrors of the obs
+    counters so benchmarks can read rates without a registry snapshot.
+    """
+
+    __slots__ = (
+        "capacity",
+        "_entries",
+        "hits",
+        "misses",
+        "flushes",
+        "_obs_hits",
+        "_obs_misses",
+        "_obs_flushes",
+    )
+
+    def __init__(self, capacity: int, *, kind: str = "match") -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+        registry = get_registry()
+        self._obs_hits = registry.counter("match.cache.hit", cache=kind)
+        self._obs_misses = registry.counter("match.cache.miss", cache=kind)
+        self._obs_flushes = registry.counter("match.cache.flush", cache=kind)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            self._obs_misses.inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        self._obs_hits.inc()
+        return entry
+
+    def put(self, key, value) -> None:
+        entries = self._entries
+        entries[key] = value
+        entries.move_to_end(key)
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+
+    def flush(self) -> int:
+        """Drop every entry; returns how many were resident.  Counted as a
+        flush event only when something was actually dropped."""
+        flushed = len(self._entries)
+        if flushed:
+            self._entries.clear()
+            self.flushes += 1
+            self._obs_flushes.inc()
+        return flushed
+
+    def __repr__(self) -> str:
+        return (
+            f"ProjectionCache({len(self._entries)}/{self.capacity} entries, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )
 
 
 class CompiledProgram:
@@ -106,9 +216,19 @@ class CompiledProgram:
         "num_links",
         "_link_of_subscriber",
         "_waste",
+        # projection caching
+        "_tested_positions",
+        "_tested_sorted",
+        "match_cache",
+        "link_cache",
     )
 
-    def __init__(self, tree: ParallelSearchTree) -> None:
+    def __init__(
+        self,
+        tree: ParallelSearchTree,
+        *,
+        cache_capacity: int = DEFAULT_MATCH_CACHE_CAPACITY,
+    ) -> None:
         self.schema = tree.schema
         self.attribute_order = tree.attribute_order
         self._positions: Tuple[int, ...] = tuple(
@@ -139,6 +259,14 @@ class CompiledProgram:
         self.num_links: Optional[int] = None
         self._link_of_subscriber: Optional[LinkOfSubscriber] = None
         self._waste = 0
+        self._tested_positions: set = set()
+        self._tested_sorted: Tuple[int, ...] = ()
+        self.match_cache: Optional[ProjectionCache] = (
+            ProjectionCache(cache_capacity, kind="match") if cache_capacity > 0 else None
+        )
+        self.link_cache: Optional[ProjectionCache] = (
+            ProjectionCache(cache_capacity, kind="links") if cache_capacity > 0 else None
+        )
         self._ensure_index(tree.root)
 
     # ------------------------------------------------------------------
@@ -175,8 +303,15 @@ class CompiledProgram:
             self._write_leaf_subs(index, node)
             self._refresh_record(index)
             return index
-        self.event_pos[index] = self._positions[node.attribute_position]
+        position = self._positions[node.attribute_position]
+        self.event_pos[index] = position
         self.level[index] = node.attribute_position
+        if position not in self._tested_positions:
+            # Tested positions only ever grow (a pruned level just makes the
+            # projection finer than necessary, which stays correct); growth
+            # happens through patch(), which flushes the caches anyway.
+            self._tested_positions.add(position)
+            self._tested_sorted = tuple(sorted(self._tested_positions))
         if node.value_branches:
             self.value_tables[index] = {
                 self._intern(value): self._ensure_index(child)
@@ -265,6 +400,10 @@ class CompiledProgram:
             raise RoutingError("num_links must be >= 0")
         self.num_links = num_links
         self._link_of_subscriber = link_of_subscriber
+        if self.link_cache is not None:
+            # New annotations change refinement results; match results only
+            # depend on the tree structure, so the match cache survives.
+            self.link_cache.flush()
         stack: List[Tuple[int, bool]] = [(0, False)]
         event_pos = self.event_pos
         while stack:
@@ -358,6 +497,21 @@ class CompiledProgram:
     # ------------------------------------------------------------------
     # Kernels
 
+    @property
+    def tested_positions(self) -> Tuple[int, ...]:
+        """Schema positions the compiled tree actually tests, sorted."""
+        return self._tested_sorted
+
+    def projection_key(self, event: Event) -> Tuple[AttributeValue, ...]:
+        """The event's values at the tested positions — the cache key.
+
+        Two events with equal projections provably take the same path
+        through the arrays (the kernels never read any other position), so
+        they share match results, step counts, and refined link masks.
+        """
+        values = event.as_tuple()
+        return tuple(values[position] for position in self._tested_sorted)
+
     def match(self, event: Event) -> MatchResult:
         """The Section 2 parallel search over the flat arrays.
 
@@ -366,9 +520,20 @@ class CompiledProgram:
         ``steps`` count is identical (it is simply the final queue length);
         only the visit *order* differs (breadth-first rather than LIFO),
         which neither the match set nor the step count observes.
+
+        Results are memoized in :attr:`match_cache` under the event's
+        :meth:`projection_key`; cached subscription lists are shared between
+        results and must be treated as read-only by callers.
         """
         if event.schema != self.schema:
             raise SubscriptionError("event schema does not match the tree's schema")
+        cache = self.match_cache
+        key: Optional[Tuple[AttributeValue, ...]] = None
+        if cache is not None:
+            key = self.projection_key(event)
+            entry = cache.get(key)
+            if entry is not None:
+                return MatchResult(entry[0], entry[1])
         values = event.as_tuple()
         value_ids = self.value_ids
         interned = [value_ids.get(value) for value in values]
@@ -395,7 +560,161 @@ class CompiledProgram:
                     push(star_child)
             elif subs is not None:
                 extend(subs)
+        if cache is not None:
+            cache.put(key, (matched, len(queue)))
         return MatchResult(matched, len(queue))
+
+    def match_batch(self, events: Sequence[Event]) -> List[MatchResult]:
+        """Match a batch of events through one shared array walk.
+
+        Per event this is exactly :meth:`match` (same match set, same step
+        count); across the batch, events are first deduplicated by
+        :meth:`projection_key` — repeats are served from :attr:`match_cache`
+        or from the batch-local result — and the remaining unique
+        projections walk the arrays together with a frontier of
+        ``(node, event-subset)`` pairs, so shared value-branch prefixes are
+        traversed once for the whole subset.
+        """
+        if not events:
+            return []
+        if len(events) == 1:
+            return [self.match(events[0])]
+        results: List[Optional[Tuple[List[Subscription], int]]] = [None] * len(events)
+        cache = self.match_cache
+        pending: Dict[Tuple[AttributeValue, ...], List[int]] = {}
+        representatives: List[Tuple[Tuple[AttributeValue, ...], Event]] = []
+        for i, event in enumerate(events):
+            if event.schema != self.schema:
+                raise SubscriptionError("event schema does not match the tree's schema")
+            key = self.projection_key(event)
+            if cache is not None:
+                entry = cache.get(key)
+                if entry is not None:
+                    results[i] = entry
+                    continue
+            group = pending.get(key)
+            if group is None:
+                pending[key] = [i]
+                representatives.append((key, event))
+            else:
+                group.append(i)
+        if representatives:
+            kernel_out = self._match_kernel_batch(
+                [event.as_tuple() for _key, event in representatives]
+            )
+            for (key, _event), entry in zip(representatives, kernel_out):
+                if cache is not None:
+                    cache.put(key, entry)
+                for i in pending[key]:
+                    results[i] = entry
+        return [MatchResult(entry[0], entry[1]) for entry in results]
+
+    def _match_kernel_batch(
+        self, value_tuples: List[Tuple[AttributeValue, ...]]
+    ) -> List[Tuple[List[Subscription], int]]:
+        """The frontier kernel: one BFS over the arrays for many events.
+
+        Each frontier entry pairs a node with the (indices of) events whose
+        single-event search would visit it; a subset splits at value tables
+        by the events' interned values and filters at range slices, while
+        the ``*``-branch carries the whole subset down.  Because the source
+        structure is a tree, every node appears in at most one frontier
+        entry, so an event's step count — the number of entries containing
+        it — equals its single-event queue length exactly.
+
+        Two refinements keep the shared walk from costing more than it
+        saves.  Subsets below :data:`_MIN_SHARED_MEMBERS` finish with the
+        single-event inner loop, one member at a time — the grouping
+        bookkeeping only pays for itself while a subset is still wide
+        enough that splitting it costs less than visiting the node once
+        per member.  And step accounting exploits subset sharing:
+        ``*``-branches carry the parent's member *list object* down
+        unchanged, so entry visits are tallied per list identity and
+        distributed to the events once at the end — a whole star chain
+        costs one increment per level instead of ``len(members)``.
+        """
+        value_ids = self.value_ids
+        records = self._records
+        n = len(value_tuples)
+        interned = [
+            [value_ids.get(value) for value in values] for values in value_tuples
+        ]
+        matched: List[List[Subscription]] = [[] for _ in range(n)]
+        steps = [0] * n
+        # id(list) -> [visit count, members]; member lists are never mutated
+        # after creation, so identity is a safe aggregation key.
+        visited: Dict[int, List[object]] = {}
+        frontier: List[Tuple[int, List[int]]] = [(0, list(range(n)))]
+        push = frontier.append
+        for node_index, members in frontier:
+            if len(members) < _MIN_SHARED_MEMBERS:
+                # Narrow tail: per member, identical to the single-event
+                # kernel (same visits, steps from the queue length).
+                for e in members:
+                    e_interned = interned[e]
+                    e_values = value_tuples[e]
+                    extend = matched[e].extend
+                    queue = [node_index]
+                    tail_push = queue.append
+                    for tail_index in queue:
+                        position, table, ranges, star_child, subs = records[tail_index]
+                        if position >= 0:
+                            if table is not None:
+                                child = table.get(e_interned[position])
+                                if child is not None:
+                                    tail_push(child)
+                            if ranges is not None:
+                                value = e_values[position]
+                                for test, range_child in ranges:
+                                    if test.evaluate(value):
+                                        tail_push(range_child)
+                            if star_child >= 0:
+                                tail_push(star_child)
+                        elif subs is not None:
+                            extend(subs)
+                    steps[e] += len(queue)
+                continue
+            position, table, ranges, star_child, subs = records[node_index]
+            tally = visited.get(id(members))
+            if tally is None:
+                visited[id(members)] = [1, members]
+            else:
+                tally[0] += 1
+            if position >= 0:
+                if table is not None:
+                    groups: Dict[int, List[int]] = {}
+                    groups_get = groups.get
+                    table_get = table.get
+                    for e in members:
+                        child = table_get(interned[e][position])
+                        if child is not None:
+                            group = groups_get(child)
+                            if group is None:
+                                groups[child] = [e]
+                            else:
+                                group.append(e)
+                    for child, group in groups.items():
+                        push((child, group))
+                if ranges is not None:
+                    for test, range_child in ranges:
+                        evaluate = test.evaluate
+                        passing = [
+                            e for e in members if evaluate(value_tuples[e][position])
+                        ]
+                        if passing:
+                            push((range_child, passing))
+                if star_child >= 0:
+                    push((star_child, members))
+            elif subs is not None:
+                for e in members:
+                    matched[e].extend(subs)
+        # Distribute the per-list entry tallies (every entry a list appeared
+        # in is one step for each of its members).  The frontier still holds
+        # references to every member list, so ids cannot have been recycled.
+        for count, group in visited.values():
+            for e in group:
+                steps[e] += count
+        return [(matched[i], steps[i]) for i in range(n)]
 
     def match_links(
         self, event: Event, yes_bits: int, maybe_bits: int
@@ -407,11 +726,72 @@ class CompiledProgram:
         trits by construction, so the Yes bits determine it completely.
         An explicit frame stack mirrors ``LinkMatcher``'s recursion exactly
         — same visit order, same early exits, same ``steps``.
+
+        Results are memoized in :attr:`link_cache` under
+        ``(projection_key, yes_bits, maybe_bits)`` — the refinement reads
+        nothing else — and the cache is flushed whenever the annotations
+        change (:meth:`annotate`, :meth:`patch`).
         """
         if not self.annotated:
             raise RoutingError("program has no link annotations — call annotate()")
         if event.schema != self.schema:
             raise RoutingError("event schema does not match the annotated tree")
+        cache = self.link_cache
+        if cache is None:
+            return self._link_kernel(event, yes_bits, maybe_bits)
+        key = (self.projection_key(event), yes_bits, maybe_bits)
+        entry = cache.get(key)
+        if entry is not None:
+            return entry
+        result = self._link_kernel(event, yes_bits, maybe_bits)
+        cache.put(key, result)
+        return result
+
+    def match_links_batch(
+        self, events: Sequence[Event], yes_bits: int, maybe_bits: int
+    ) -> List[Tuple[int, int]]:
+        """Refine one shared initialization mask for a batch of events.
+
+        Per event this is exactly :meth:`match_links`; across the batch,
+        events are deduplicated by :meth:`projection_key` (all of them share
+        the initialization mask, so equal projections provably yield equal
+        refinements) and repeats are served from :attr:`link_cache` or the
+        batch-local result.
+        """
+        if not events:
+            return []
+        if not self.annotated:
+            raise RoutingError("program has no link annotations — call annotate()")
+        results: List[Optional[Tuple[int, int]]] = [None] * len(events)
+        cache = self.link_cache
+        pending: Dict[Tuple, List[int]] = {}
+        representatives: List[Tuple[Tuple, Event]] = []
+        for i, event in enumerate(events):
+            if event.schema != self.schema:
+                raise RoutingError("event schema does not match the annotated tree")
+            key = (self.projection_key(event), yes_bits, maybe_bits)
+            if cache is not None:
+                entry = cache.get(key)
+                if entry is not None:
+                    results[i] = entry
+                    continue
+            group = pending.get(key)
+            if group is None:
+                pending[key] = [i]
+                representatives.append((key, event))
+            else:
+                group.append(i)
+        for key, event in representatives:
+            result = self._link_kernel(event, yes_bits, maybe_bits)
+            if cache is not None:
+                cache.put(key, result)
+            for i in pending[key]:
+                results[i] = result
+        return results  # type: ignore[return-value]
+
+    def _link_kernel(
+        self, event: Event, yes_bits: int, maybe_bits: int
+    ) -> Tuple[int, int]:
         values = event.as_tuple()
         value_ids = self.value_ids
         interned = [value_ids.get(value) for value in values]
@@ -530,6 +910,17 @@ class CompiledProgram:
         if self.annotated:
             for index, _node in reversed(path):
                 self.ann_yes[index], self.ann_maybe[index] = self._node_annotation(index)
+        # A patched program answers differently for the same projection, so
+        # both caches must flush.  The discarded residency is charged toward
+        # waste: patches that keep evicting a hot cache are costing real work
+        # the structural garbage metric cannot see, and should push the
+        # program toward a compact full recompile sooner.
+        flushed = 0
+        if self.match_cache is not None:
+            flushed += self.match_cache.flush()
+        if self.link_cache is not None:
+            flushed += self.link_cache.flush()
+        self._waste += flushed >> _CACHE_RESIDENCY_WASTE_SHIFT
         return True
 
     def _charge_subtree(self, index: int) -> None:
@@ -632,6 +1023,14 @@ def _child_for_test(node: PSTNode, test: AttributeTest) -> Optional[PSTNode]:
     return None
 
 
-def compile_tree(tree: ParallelSearchTree) -> CompiledProgram:
-    """Lower ``tree`` into a fresh :class:`CompiledProgram`."""
-    return CompiledProgram(tree)
+def compile_tree(
+    tree: ParallelSearchTree,
+    *,
+    cache_capacity: int = DEFAULT_MATCH_CACHE_CAPACITY,
+) -> CompiledProgram:
+    """Lower ``tree`` into a fresh :class:`CompiledProgram`.
+
+    ``cache_capacity`` bounds each of the program's two projection caches
+    (match and link); pass ``0`` to disable caching entirely.
+    """
+    return CompiledProgram(tree, cache_capacity=cache_capacity)

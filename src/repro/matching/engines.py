@@ -28,7 +28,11 @@ from repro.core.link_matcher import LinkMatcher, LinkMatchResult
 from repro.core.trits import TritVector, pack_tritvector, unpack_tritvector
 from repro.matching.base import MatcherEngine
 from repro.obs import get_registry
-from repro.matching.compile import CompiledProgram, compile_tree
+from repro.matching.compile import (
+    DEFAULT_MATCH_CACHE_CAPACITY,
+    CompiledProgram,
+    compile_tree,
+)
 from repro.matching.events import Event
 from repro.matching.pst import MatchResult, ParallelSearchTree
 from repro.matching.predicates import Subscription
@@ -39,6 +43,9 @@ ENGINE_NAMES = ("compiled", "tree")
 
 #: The engine used when callers do not choose one.
 DEFAULT_ENGINE = "compiled"
+
+#: Bucket boundaries of the ``engine.match_batch.size`` histogram.
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 
 class _EngineBase(MatcherEngine):
@@ -67,6 +74,9 @@ class _EngineBase(MatcherEngine):
         self._obs_link_match_steps = registry.counter(
             "engine.link_match_steps", engine=self.name
         )
+        self._obs_batch_size = registry.histogram(
+            "engine.match_batch.size", BATCH_SIZE_BUCKETS, engine=self.name
+        )
 
     @property
     def subscriptions(self) -> List[Subscription]:
@@ -79,6 +89,10 @@ class _EngineBase(MatcherEngine):
     def match_brute_force(self, event: Event) -> List[Subscription]:
         """Reference semantics: evaluate every predicate directly."""
         return self.tree.match_brute_force(event)
+
+    def match_batch(self, events: Sequence[Event]) -> List[MatchResult]:
+        self._obs_batch_size.observe(len(events))
+        return super().match_batch(events)
 
     def _require_links(self) -> int:
         if self._num_links is None:
@@ -181,10 +195,12 @@ class CompiledEngine(_EngineBase):
         *,
         attribute_order: Optional[Sequence[str]] = None,
         domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
+        match_cache_capacity: int = DEFAULT_MATCH_CACHE_CAPACITY,
     ) -> None:
         super().__init__(schema, attribute_order=attribute_order, domains=domains)
         self._program: Optional[CompiledProgram] = None
         self._annotation_dirty = False
+        self._match_cache_capacity = match_cache_capacity
         registry = get_registry()
         self._obs_compiles = registry.counter("engine.compiled.recompiles")
         self._obs_patches = registry.counter("engine.compiled.patches")
@@ -202,7 +218,9 @@ class CompiledEngine(_EngineBase):
 
     def _ensure_program(self) -> CompiledProgram:
         if self._program is None:
-            self._program = compile_tree(self.tree)
+            self._program = compile_tree(
+                self.tree, cache_capacity=self._match_cache_capacity
+            )
             self._annotation_dirty = self._num_links is not None
             self._obs_compiles.inc()
             self._obs_waste_ratio.set(0.0)
@@ -235,6 +253,13 @@ class CompiledEngine(_EngineBase):
         self._obs_match_steps.inc(result.steps)
         return result
 
+    def match_batch(self, events: Sequence[Event]) -> List[MatchResult]:
+        self._obs_batch_size.observe(len(events))
+        results = self._ensure_program().match_batch(events)
+        self._obs_matches.inc(len(results))
+        self._obs_match_steps.inc(sum(result.steps for result in results))
+        return results
+
     def bind_links(
         self, num_links: int, link_of_subscriber: LinkOfSubscriber
     ) -> None:
@@ -242,22 +267,41 @@ class CompiledEngine(_EngineBase):
         self._link_of_subscriber = link_of_subscriber
         self._annotation_dirty = True
 
-    def match_links(
-        self, event: Event, initialization_mask: TritVector
-    ) -> LinkMatchResult:
-        num_links = self._require_links()
-        self._check_mask(initialization_mask)
+    def _annotated_program(self, num_links: int) -> CompiledProgram:
         program = self._ensure_program()
         if self._annotation_dirty or not program.annotated:
             assert self._link_of_subscriber is not None
             program.annotate(num_links, self._link_of_subscriber)
             self._annotation_dirty = False
             get_registry().counter("engine.annotation_rebuilds", engine=self.name).inc()
+        return program
+
+    def match_links(
+        self, event: Event, initialization_mask: TritVector
+    ) -> LinkMatchResult:
+        num_links = self._require_links()
+        self._check_mask(initialization_mask)
+        program = self._annotated_program(num_links)
         yes_bits, maybe_bits = pack_tritvector(initialization_mask)
         final_yes, steps = program.match_links(event, yes_bits, maybe_bits)
         self._obs_link_matches.inc()
         self._obs_link_match_steps.inc(steps)
         return LinkMatchResult(unpack_tritvector(final_yes, 0, num_links), steps)
+
+    def match_links_batch(
+        self, events: Sequence[Event], initialization_mask: TritVector
+    ) -> List[LinkMatchResult]:
+        num_links = self._require_links()
+        self._check_mask(initialization_mask)
+        program = self._annotated_program(num_links)
+        yes_bits, maybe_bits = pack_tritvector(initialization_mask)
+        packed = program.match_links_batch(events, yes_bits, maybe_bits)
+        self._obs_link_matches.inc(len(packed))
+        self._obs_link_match_steps.inc(sum(steps for _final, steps in packed))
+        return [
+            LinkMatchResult(unpack_tritvector(final_yes, 0, num_links), steps)
+            for final_yes, steps in packed
+        ]
 
 
 def create_engine(
@@ -266,14 +310,26 @@ def create_engine(
     *,
     attribute_order: Optional[Sequence[str]] = None,
     domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
+    match_cache_capacity: Optional[int] = None,
 ) -> MatcherEngine:
-    """Instantiate an engine by name (``"tree"`` or ``"compiled"``)."""
+    """Instantiate an engine by name (``"tree"`` or ``"compiled"``).
+
+    ``match_cache_capacity`` tunes the compiled engine's projection caches
+    (``0`` disables them); the tree engine has no cache and ignores it.
+    """
     if engine == "compiled":
-        cls = CompiledEngine
-    elif engine == "tree":
-        cls = TreeEngine
-    else:
-        raise SubscriptionError(
-            f"unknown matcher engine {engine!r} — expected one of {ENGINE_NAMES}"
+        return CompiledEngine(
+            schema,
+            attribute_order=attribute_order,
+            domains=domains,
+            match_cache_capacity=(
+                DEFAULT_MATCH_CACHE_CAPACITY
+                if match_cache_capacity is None
+                else match_cache_capacity
+            ),
         )
-    return cls(schema, attribute_order=attribute_order, domains=domains)
+    if engine == "tree":
+        return TreeEngine(schema, attribute_order=attribute_order, domains=domains)
+    raise SubscriptionError(
+        f"unknown matcher engine {engine!r} — expected one of {ENGINE_NAMES}"
+    )

@@ -31,7 +31,7 @@ class Event:
     lets the simulator and broker logs track a specific published instance.
     """
 
-    __slots__ = ("schema", "_values", "event_id", "publisher", "sequence")
+    __slots__ = ("schema", "_values", "_tuple", "event_id", "publisher", "sequence")
 
     def __init__(
         self,
@@ -47,6 +47,7 @@ class Event:
             raise EventError(str(exc)) from exc
         self.schema = schema
         self._values: Dict[str, AttributeValue] = coerced
+        self._tuple: Optional[Tuple[AttributeValue, ...]] = None
         self.event_id = next(_event_ids)
         self.publisher = publisher
         self.sequence = sequence
@@ -85,8 +86,12 @@ class Event:
 
     def as_tuple(self) -> Tuple[AttributeValue, ...]:
         """Attribute values in schema order (as drawn in the paper's figures,
-        e.g. ``a = <1, 2, 3, 1, 2>``)."""
-        return self.schema.tuple_of(self._values)
+        e.g. ``a = <1, 2, 3, 1, 2>``).  Computed once — events are immutable,
+        and the matching hot paths read this repeatedly."""
+        values = self._tuple
+        if values is None:
+            values = self._tuple = self.schema.tuple_of(self._values)
+        return values
 
     def with_metadata(self, *, publisher: Optional[str] = None, sequence: Optional[int] = None) -> "Event":
         """Return a copy carrying the given delivery metadata."""

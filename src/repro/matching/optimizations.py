@@ -45,6 +45,7 @@ from typing import (
 )
 
 from repro.errors import SubscriptionError
+from repro.matching.base import Matcher
 from repro.matching.compile import CompiledProgram, compile_tree
 from repro.matching.events import Event
 from repro.matching.pst import MatchResult, ParallelSearchTree, PSTNode
@@ -72,7 +73,7 @@ class _OutOfDomain:
 OUT_OF_DOMAIN = _OutOfDomain()
 
 
-class FactoredMatcher:
+class FactoredMatcher(Matcher):
     """Factoring (Section 2.1, item 1): one sub-PST per index-value combo.
 
     Parameters

@@ -194,5 +194,15 @@ class RoutingProtocol(abc.ABC):
     def handle(self, broker: str, message: SimMessage) -> Decision:
         """Decide what ``broker`` does with ``message``."""
 
+    def handle_batch(self, broker: str, messages: Sequence[SimMessage]) -> List[Decision]:
+        """Decide what ``broker`` does with each message of a batch.
+
+        Decision ``i`` is exactly ``handle(broker, messages[i])``.  This base
+        fallback loops; protocols whose matchers have real batch kernels
+        (link matching, flooding) override it to amortize matching across
+        the batch.
+        """
+        return [self.handle(broker, message) for message in messages]
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -21,9 +21,10 @@ exactly why flooding saturates first in Chart 1.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Sequence
 
 from repro.matching.base import MatcherEngine
+from repro.matching.pst import MatchResult
 from repro.matching.engines import create_engine
 from repro.obs import get_registry
 from repro.protocols.base import Decision, ProtocolContext, RoutingProtocol, SimMessage
@@ -63,9 +64,26 @@ class FloodingProtocol(RoutingProtocol):
             self._local_trees[broker].insert(subscription)
 
     def handle(self, broker: str, message: SimMessage) -> Decision:
+        local = self._local_trees[broker].match(message.event)
+        return self._decision_for(broker, message, local)
+
+    def handle_batch(self, broker: str, messages: Sequence[SimMessage]) -> List[Decision]:
+        """Flooding's batch path: one local ``match_batch`` for the lot."""
+        if not messages:
+            return []
+        locals_ = self._local_trees[broker].match_batch(
+            [message.event for message in messages]
+        )
+        return [
+            self._decision_for(broker, message, local)
+            for message, local in zip(messages, locals_)
+        ]
+
+    def _decision_for(
+        self, broker: str, message: SimMessage, local: MatchResult
+    ) -> Decision:
         children = self.context.tree_children(broker, message.root)
         sends = [(child, message.forwarded()) for child in children]
-        local = self._local_trees[broker].match(message.event)
         matched_clients = sorted(local.subscribers)
         if self.filter_at_edge:
             deliveries = matched_clients

@@ -9,9 +9,9 @@ spanning tree.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Sequence
 
-from repro.core.router import ContentRouter
+from repro.core.router import ContentRouter, RouteDecision
 from repro.obs import get_registry
 from repro.protocols.base import Decision, ProtocolContext, RoutingProtocol, SimMessage
 
@@ -44,7 +44,35 @@ class LinkMatchingProtocol(RoutingProtocol):
             self.routers[broker] = router
 
     def handle(self, broker: str, message: SimMessage) -> Decision:
-        decision = self.routers[broker].route(message.event, message.root)
+        routed = self.routers[broker].route(message.event, message.root)
+        return self._decision_for(message, routed)
+
+    def handle_batch(self, broker: str, messages: Sequence[SimMessage]) -> List[Decision]:
+        """Route a batch through the broker's router in one call.
+
+        Messages are grouped by spanning-tree root (the initialization mask
+        depends on it); each group goes through
+        :meth:`ContentRouter.route_batch`, which deduplicates by projection
+        and hits the engine's link cache.
+        """
+        if not messages:
+            return []
+        router = self.routers[broker]
+        decisions: List[Decision] = [None] * len(messages)  # type: ignore[list-item]
+        by_root: Dict[str, List[int]] = {}
+        for i, message in enumerate(messages):
+            group = by_root.get(message.root)
+            if group is None:
+                by_root[message.root] = [i]
+            else:
+                group.append(i)
+        for root, indices in by_root.items():
+            routed = router.route_batch([messages[i].event for i in indices], root)
+            for i, route_decision in zip(indices, routed):
+                decisions[i] = self._decision_for(messages[i], route_decision)
+        return decisions
+
+    def _decision_for(self, message: SimMessage, decision: RouteDecision) -> Decision:
         self._obs_handled.inc()
         # Per-hop refinement accounting (Chart 2's quantity, as seen by the
         # simulator): one labeled counter per hop distance is a single dict

@@ -51,11 +51,15 @@ class NetworkSimulation:
         seed: int = 0,
         queue_sample_interval_ms: float = 50.0,
         registry: Optional[MetricsRegistry] = None,
+        batch_size: int = 1,
     ) -> None:
         topology.validate()
         self.topology = topology
         self.protocol = protocol
         self.cost_model = cost_model
+        #: Messages each broker drains per service period (1 = the paper's
+        #: one-at-a-time pipeline; >1 enables the batched matching path).
+        self.batch_size = batch_size
         self.simulator = Simulator()
         self.rng = random.Random(seed)
         #: The run's own always-enabled registry (pass one in to share).
@@ -70,7 +74,9 @@ class NetworkSimulation:
         # plain dict lookup, not a label-string render.
         self._link_counters: Dict[Tuple[str, str], Tuple[Counter, Counter]] = {}
         self.brokers: Dict[str, SimBroker] = {
-            name: SimBroker(self.simulator, name, protocol, cost_model, self)
+            name: SimBroker(
+                self.simulator, name, protocol, cost_model, self, batch_size=batch_size
+            )
             for name in topology.brokers()
         }
         self.deliveries: List[DeliveryRecord] = []

@@ -75,6 +75,17 @@ messages = st.one_of(
         event_data=st.binary(max_size=500),
     ),
     st.builds(
+        wire.BrokerEventBatch,
+        root=safe_text,
+        entries=st.lists(
+            st.tuples(safe_text, st.binary(max_size=200)), max_size=8
+        ).map(tuple),
+    ),
+    st.builds(
+        wire.PublishBatch,
+        events=st.lists(st.binary(max_size=200), max_size=8).map(tuple),
+    ),
+    st.builds(
         wire.SubPropagate,
         subscription_id=u64, subscriber=safe_text,
         expression=safe_text, origin=safe_text,
