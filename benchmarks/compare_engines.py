@@ -16,12 +16,21 @@ and emits the machine-readable ``BENCH_compare_engines.json`` artifact next
 to it.  ``--min-speedup X`` turns the script into the CI perf-regression
 gate: exit code 1 if the compiled engine's speedup at the largest
 subscription count falls below ``X``.
+
+``--churn N`` interleaves subscription churn with the matching loop: every
+``N`` events one registered subscription is removed and a fresh one inserted
+(net size constant).  The tree engine patches annotations in place; the
+compiled engine pays for incremental patches, flushed projection caches, and
+the occasional waste-triggered recompile — which is exactly the cost the
+steady-state table hides, so churn rows make recompile pressure visible in
+the trend tables.
 """
 
 from __future__ import annotations
 
 import argparse
 import pathlib
+import random
 import sys
 import time
 
@@ -62,14 +71,50 @@ def time_matches(engine, events, repeats):
     return best / len(events), total_steps / len(events)
 
 
-def run(counts, num_events, repeats, seed, *, cache=True):
+def make_churn_plan(subscriptions, num_ops, generator, seed):
+    """A deterministic op stream: each op removes a live subscription and
+    inserts a fresh one (net size constant).  Built once per count so every
+    engine (and every timing repeat) replays byte-identical churn."""
+    rng = random.Random(seed)
+    live = list(subscriptions)
+    plan = []
+    for _ in range(num_ops):
+        index = rng.randrange(len(live))
+        fresh = generator.subscription_for("churn")
+        plan.append((live[index].subscription_id, fresh))
+        live[index] = fresh
+    return plan
+
+
+def time_matches_churn(engine, events, churn, plan):
+    """One timed pass interleaving matching with churn: every ``churn``
+    events the next plan op runs (remove + insert).  The churn cost — tree
+    annotation patches vs compiled patches, cache flushes, and recompiles —
+    lands inside the timed region, which is the point."""
+    ops = iter(plan)
+    total_steps = 0
+    start = time.perf_counter()
+    for i, event in enumerate(events):
+        if i and i % churn == 0:
+            old_id, fresh = next(ops)
+            engine.remove(old_id)
+            engine.insert(fresh)
+        total_steps += engine.match(event).steps
+    elapsed = time.perf_counter() - start
+    return elapsed / len(events), total_steps / len(events)
+
+
+def run(counts, num_events, repeats, seed, *, cache=True, churn=0):
     """Sweep the subscription counts; returns (rows, rendered table text).
 
     Each row is ``{subscriptions, avg_steps, tree_us, compiled_us, speedup}``.
     With ``cache=False`` the compiled engine's projection caches are
     disabled, so the comparison isolates the raw kernel speedup (the CI gate
     uses this: repeated timing loops over a fixed event sample would
-    otherwise be pure cache hits after the first pass).
+    otherwise be pure cache hits after the first pass).  With ``churn=N``
+    every N events a subscription is replaced mid-stream (engines are
+    rebuilt per repeat so every pass replays identical churn from the same
+    starting state).
     """
     spec = CHART1_SPEC
     subscription_generator = SubscriptionGenerator(spec, seed=seed)
@@ -78,15 +123,35 @@ def run(counts, num_events, repeats, seed, *, cache=True):
 
     header = f"{'subscriptions':>13} {'avg_steps':>9} {'tree_us':>9} {'compiled_us':>11} {'speedup':>8}"
     lines = [header, "-" * len(header)]
+    if churn:
+        lines.insert(0, f"churn: 1 replacement per {churn} events (timed in-stream)")
     rows = []
     for count in counts:
         subscriptions = subscription_generator.subscriptions_for(["client"], count)
+        plan = (
+            make_churn_plan(
+                subscriptions, num_events // churn, subscription_generator, seed + 2
+            )
+            if churn
+            else None
+        )
         per_match = {}
         steps = {}
         for name in ENGINES:
-            engine = build_engine(name, subscriptions, cache=cache)
-            engine.match(events[0])  # warm up (compiled: force compilation)
-            per_match[name], steps[name] = time_matches(engine, events, repeats)
+            if churn:
+                best = float("inf")
+                for _ in range(repeats):
+                    engine = build_engine(name, subscriptions, cache=cache)
+                    engine.match(events[0])  # warm up (compiled: force compilation)
+                    per_event, avg_steps = time_matches_churn(
+                        engine, events, churn, plan
+                    )
+                    best = min(best, per_event)
+                per_match[name], steps[name] = best, avg_steps
+            else:
+                engine = build_engine(name, subscriptions, cache=cache)
+                engine.match(events[0])  # warm up (compiled: force compilation)
+                per_match[name], steps[name] = time_matches(engine, events, repeats)
         assert steps["tree"] == steps["compiled"], "engines disagree on steps"
         speedup = per_match["tree"] / per_match["compiled"]
         rows.append(
@@ -117,6 +182,7 @@ def emit_bench(rows, args, directory):
             "repeats": args.repeats,
             "seed": args.seed,
             "cache": not args.no_cache,
+            "churn": args.churn,
         },
         wall_clock_s=None,
         metrics=get_registry(),
@@ -146,6 +212,12 @@ def main(argv=None):
         "than tree at the largest subscription count",
     )
     parser.add_argument(
+        "--churn", type=int, default=0, metavar="N",
+        help="interleave subscription churn with matching: every N events "
+        "replace one registered subscription with a fresh one (0 = off); "
+        "patch/recompile cost lands inside the timed region",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the compiled engine's projection-keyed match cache so "
         "the gate measures the raw kernel (repeated timing passes over the "
@@ -155,7 +227,8 @@ def main(argv=None):
 
     get_registry().enable()  # before any engine exists, so instruments record
     rows, table = run(
-        args.counts, args.events, args.repeats, args.seed, cache=not args.no_cache
+        args.counts, args.events, args.repeats, args.seed,
+        cache=not args.no_cache, churn=args.churn,
     )
     print(table)
     if args.save:

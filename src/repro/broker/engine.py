@@ -45,9 +45,16 @@ class MatchingEngine:
         domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
         factoring_attributes: Optional[Sequence[str]] = None,
         engine: str = DEFAULT_ENGINE,
+        shards: Optional[int] = None,
+        shard_policy: Optional[str] = None,
+        shard_workers: int = 0,
     ) -> None:
         self.schema = schema
         self.engine = engine
+        if engine == "sharded":
+            # Sharding is itself a partitioned index; it takes precedence
+            # over factoring (FactoredMatcher only wraps tree/compiled).
+            factoring_attributes = None
         if factoring_attributes:
             if domains is None:
                 raise SubscriptionError("factoring requires finite attribute domains")
@@ -64,7 +71,13 @@ class MatchingEngine:
             )
         else:
             self.matcher = create_engine(
-                engine, schema, attribute_order=attribute_order, domains=domains
+                engine,
+                schema,
+                attribute_order=attribute_order,
+                domains=domains,
+                shards=shards,
+                shard_policy=shard_policy,
+                shard_workers=shard_workers,
             )
 
     # ------------------------------------------------------------------

@@ -60,6 +60,9 @@ class BrokerNetworkConfig:
         domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
         factoring_attributes: Optional[Sequence[str]] = None,
         engine: str = "compiled",
+        shards: Optional[int] = None,
+        shard_policy: Optional[str] = None,
+        shard_workers: int = 0,
     ) -> None:
         topology.validate()
         if not topology.publishers():
@@ -70,6 +73,9 @@ class BrokerNetworkConfig:
         self.domains = domains
         self.factoring_attributes = factoring_attributes
         self.engine = engine
+        self.shards = shards
+        self.shard_policy = shard_policy
+        self.shard_workers = shard_workers
         self.routing_tables: Dict[str, RoutingTable] = all_routing_tables(topology)
         self.spanning_trees: Dict[str, SpanningTree] = spanning_trees_for_publishers(topology)
 
@@ -133,6 +139,9 @@ class BrokerNode:
             domains=config.domains,
             factoring_attributes=config.factoring_attributes,
             engine=config.engine,
+            shards=config.shards,
+            shard_policy=config.shard_policy,
+            shard_workers=config.shard_workers,
         )
         #: When set, per-client event logs are persisted under this
         #: directory (one subdirectory per broker), so reliable redelivery

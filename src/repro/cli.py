@@ -67,10 +67,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=("tree", "compiled"),
+        choices=("tree", "compiled", "sharded"),
         default="compiled",
-        help="matching engine: array kernels (compiled, default) or the "
-        "object-graph PST (tree)",
+        help="matching engine: array kernels (compiled, default), the "
+        "object-graph PST (tree), or partitioned compiled shards (sharded)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="S",
+        help="number of shards for --engine sharded (default: engine's own)",
+    )
+    parser.add_argument(
+        "--shard-policy",
+        choices=("round-robin", "hash", "balanced"),
+        default=None,
+        help="partition policy for --engine sharded (default: hash)",
+    )
+    parser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="thread-pool width for --engine sharded (0 = serial, the "
+        "default; threads only pay off on GIL-free builds)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -114,6 +135,9 @@ def _run_chart1(args: argparse.Namespace) -> None:
         probe_duration_s=args.probe_duration or (0.5 if args.paper_scale else 0.4),
         include_match_first=args.match_first,
         engine=args.engine,
+        shards=args.shards,
+        shard_policy=args.shard_policy,
+        shard_workers=args.shard_workers,
         metrics_out=args.metrics_out,
     )
     table = run_chart1(config)
@@ -137,6 +161,9 @@ def _run_chart2(args: argparse.Namespace) -> None:
         num_events=args.events or (1000 if args.paper_scale else 120),
         subscribers_per_broker=10 if args.paper_scale else 3,
         engine=args.engine,
+        shards=args.shards,
+        shard_policy=args.shard_policy,
+        shard_workers=args.shard_workers,
         metrics_out=args.metrics_out,
     )
     table = run_chart2(config)
@@ -158,6 +185,9 @@ def _run_chart3(args: argparse.Namespace) -> None:
         else ((1000, 5000, 10000, 25000) if args.paper_scale else Chart3Config().subscription_counts),
         num_events=args.events or (300 if args.paper_scale else 150),
         engine=args.engine,
+        shards=args.shards,
+        shard_policy=args.shard_policy,
+        shard_workers=args.shard_workers,
         metrics_out=args.metrics_out,
     )
     table = run_chart3(config)
@@ -177,6 +207,9 @@ def _run_throughput(args: argparse.Namespace) -> None:
         subscription_counts=(10, 100, 1000, 5000) if args.paper_scale else (10, 100, 1000),
         num_events=4000 if args.paper_scale else 1500,
         engine=args.engine,
+        shards=args.shards,
+        shard_policy=args.shard_policy,
+        shard_workers=args.shard_workers,
         metrics_out=args.metrics_out,
     )
     print(run_throughput(config).format())
@@ -192,6 +225,9 @@ def _run_bursty(args: argparse.Namespace) -> None:
         else (1.0, 2.0, 5.0, 10.0),
         duration_s=2.0 if args.paper_scale else 0.8,
         engine=args.engine,
+        shards=args.shards,
+        shard_policy=args.shard_policy,
+        shard_workers=args.shard_workers,
         metrics_out=args.metrics_out,
     )
     print(run_bursty(config).format())
@@ -271,7 +307,14 @@ def _run_demo(args: argparse.Namespace) -> None:
     topology.add_client("alice", "NY")
     topology.add_client("bob", "TOKYO")
     topology.add_client("ticker", "NY", kind=NodeKind.PUBLISHER)
-    network = ContentRoutedNetwork(topology, stock_trade_schema(), engine=args.engine)
+    network = ContentRoutedNetwork(
+        topology,
+        stock_trade_schema(),
+        engine=args.engine,
+        shards=args.shards,
+        shard_policy=args.shard_policy,
+        shard_workers=args.shard_workers,
+    )
     network.subscribe("alice", "issue='IBM' & price<120 & volume>1000")
     network.subscribe("bob", "volume>50000")
     for values in (

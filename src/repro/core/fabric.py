@@ -141,6 +141,9 @@ class ContentRoutedNetwork:
         domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
         factoring_attributes: Optional[Sequence[str]] = None,
         engine: str = "compiled",
+        shards: Optional[int] = None,
+        shard_policy: Optional[str] = None,
+        shard_workers: int = 0,
     ) -> None:
         topology.validate()
         if not topology.publishers():
@@ -160,6 +163,9 @@ class ContentRoutedNetwork:
                 domains=domains,
                 factoring_attributes=factoring_attributes,
                 engine=engine,
+                shards=shards,
+                shard_policy=shard_policy,
+                shard_workers=shard_workers,
             )
             for broker in topology.brokers()
         }

@@ -85,6 +85,9 @@ class ContentRouter:
         domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
         factoring_attributes: Optional[Sequence[str]] = None,
         engine: str = "compiled",
+        shards: Optional[int] = None,
+        shard_policy: Optional[str] = None,
+        shard_workers: int = 0,
     ) -> None:
         self.topology = topology
         self.broker = broker
@@ -102,6 +105,11 @@ class ContentRouter:
         self.links = VirtualLinkTable(topology, broker, routing_table, spanning_trees)
         self._factored: Optional[FactoredMatcher] = None
         self._engine: Optional[MatcherEngine] = None
+        if engine == "sharded":
+            # The sharded engine is itself a partitioned index (the hash
+            # policy partitions by first indexed attribute — factoring's own
+            # idea), so sharding takes precedence over factoring.
+            factoring_attributes = None
         if factoring_attributes:
             if domains is None:
                 raise RoutingError("factoring requires finite attribute domains")
@@ -123,7 +131,13 @@ class ContentRouter:
             from repro.matching.engines import create_engine
 
             self._engine = create_engine(
-                engine, schema, attribute_order=attribute_order, domains=domains
+                engine,
+                schema,
+                attribute_order=attribute_order,
+                domains=domains,
+                shards=shards,
+                shard_policy=shard_policy,
+                shard_workers=shard_workers,
             )
             self._engine.bind_links(self.links.num_links, self._link_of_subscriber)
         # Per-sub-tree link-matching state for the factored matcher; the

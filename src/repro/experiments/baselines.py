@@ -22,7 +22,7 @@ Expected shapes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.experiments.tables import ExperimentTable
 from repro.network.figures import figure6_topology
@@ -48,6 +48,10 @@ class BaselineConfig:
     num_events_per_publisher: int = 150
     seed: int = 0
     engine: str = "compiled"
+    #: Sharded-engine knobs (None/0 = engine defaults; ignored by others).
+    shards: Optional[int] = None
+    shard_policy: Optional[str] = None
+    shard_workers: int = 0
 
 
 def run_baseline_comparison(config: BaselineConfig = BaselineConfig()) -> ExperimentTable:
@@ -83,6 +87,9 @@ def run_baseline_comparison(config: BaselineConfig = BaselineConfig()) -> Experi
             domains=spec.domains(),
             factoring_attributes=spec.factoring_attributes,
             engine=config.engine,
+            shards=config.shards,
+            shard_policy=config.shard_policy,
+            shard_workers=config.shard_workers,
         )
         protocols: List[RoutingProtocol] = [
             LinkMatchingProtocol(context),

@@ -41,6 +41,10 @@ class BurstyConfig:
     on_mean_s: float = 0.05
     seed: int = 0
     engine: str = "compiled"
+    #: Sharded-engine knobs (None/0 = engine defaults; ignored by others).
+    shards: Optional[int] = None
+    shard_policy: Optional[str] = None
+    shard_workers: int = 0
     #: Optional path: write the global obs-registry JSON snapshot here.
     metrics_out: Optional[str] = None
 
@@ -76,6 +80,9 @@ def _run_bursty(config: BurstyConfig) -> ExperimentTable:
         domains=spec.domains(),
         factoring_attributes=spec.factoring_attributes,
         engine=config.engine,
+        shards=config.shards,
+        shard_policy=config.shard_policy,
+        shard_workers=config.shard_workers,
     )
     protocol = LinkMatchingProtocol(context)
     publishers = topology.publishers()

@@ -54,6 +54,10 @@ class Chart1Config:
     seed: int = 0
     include_match_first: bool = False
     engine: str = "compiled"
+    #: Sharded-engine knobs (None/0 = engine defaults; ignored by others).
+    shards: Optional[int] = None
+    shard_policy: Optional[str] = None
+    shard_workers: int = 0
     #: Optional path: write the global obs-registry JSON snapshot here.
     metrics_out: Optional[str] = None
 
@@ -131,6 +135,9 @@ def _run_chart1(config: Chart1Config) -> ExperimentTable:
             domains=spec.domains(),
             factoring_attributes=spec.factoring_attributes,
             engine=config.engine,
+            shards=config.shards,
+            shard_policy=config.shard_policy,
+            shard_workers=config.shard_workers,
         )
         for protocol in _protocols(context, config):
             result = saturation_for(topology, protocol, events, config)

@@ -48,6 +48,10 @@ class Chart2Config:
     seed: int = 0
     use_factoring: bool = True
     engine: str = "compiled"
+    #: Sharded-engine knobs (None/0 = engine defaults; ignored by others).
+    shards: Optional[int] = None
+    shard_policy: Optional[str] = None
+    shard_workers: int = 0
     #: Optional path: write the global obs-registry JSON snapshot here.
     metrics_out: Optional[str] = None
 
@@ -129,6 +133,9 @@ def _run_chart2(config: Chart2Config) -> ExperimentTable:
                 spec.factoring_attributes if config.use_factoring else None
             ),
             engine=config.engine,
+            shards=config.shards,
+            shard_policy=config.shard_policy,
+            shard_workers=config.shard_workers,
         )
         for subscription in subscriptions:
             network.subscribe(subscription.subscriber, subscription.predicate)

@@ -39,6 +39,10 @@ class ThroughputConfig:
     num_events: int = 2000
     seed: int = 0
     engine: str = "compiled"
+    #: Sharded-engine knobs (None/0 = engine defaults; ignored by others).
+    shards: Optional[int] = None
+    shard_policy: Optional[str] = None
+    shard_workers: int = 0
     #: Optional path: write the global obs-registry JSON snapshot here.
     metrics_out: Optional[str] = None
 
@@ -78,6 +82,9 @@ def _run_throughput(config: ThroughputConfig) -> ExperimentTable:
             domains=spec.domains(),
             factoring_attributes=spec.factoring_attributes,
             engine=config.engine,
+            shards=config.shards,
+            shard_policy=config.shard_policy,
+            shard_workers=config.shard_workers,
         )
         transport = InMemoryTransport()
         node = BrokerNode(broker_config, "B0", transport, {"B0": "mem://B0"})
@@ -112,6 +119,9 @@ def _run_throughput(config: ThroughputConfig) -> ExperimentTable:
             domains=spec.domains(),
             factoring_attributes=spec.factoring_attributes,
             engine=config.engine,
+            shards=config.shards,
+            shard_policy=config.shard_policy,
+            shard_workers=config.shard_workers,
         )
         for subscription in node.router.matcher.subscriptions:
             engine.matcher.insert(subscription)

@@ -63,7 +63,9 @@ refined link masks.  Two mechanisms exploit this:
   answers differently for the same projection) and charges the discarded
   residency toward the waste that triggers a full recompile.  Hit, miss,
   and flush counts are exported through :mod:`repro.obs` as
-  ``match.cache.hit`` / ``match.cache.miss`` / ``match.cache.flush``.
+  ``match.cache.hit`` / ``match.cache.miss`` / ``match.cache.flush``, and a
+  ``match.cache.residency`` gauge (entries/capacity, per cache kind) makes
+  cache pressure visible alongside the rates.
 """
 
 from __future__ import annotations
@@ -124,6 +126,7 @@ class ProjectionCache:
         "_obs_hits",
         "_obs_misses",
         "_obs_flushes",
+        "_obs_residency",
     )
 
     def __init__(self, capacity: int, *, kind: str = "match") -> None:
@@ -136,6 +139,7 @@ class ProjectionCache:
         self._obs_hits = registry.counter("match.cache.hit", cache=kind)
         self._obs_misses = registry.counter("match.cache.miss", cache=kind)
         self._obs_flushes = registry.counter("match.cache.flush", cache=kind)
+        self._obs_residency = registry.gauge("match.cache.residency", cache=kind)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -162,6 +166,22 @@ class ProjectionCache:
         entries.move_to_end(key)
         if len(entries) > self.capacity:
             entries.popitem(last=False)
+        self._obs_residency.set(len(entries) / self.capacity)
+
+    def evict_if(self, stale) -> int:
+        """Drop entries ``stale(key, value)`` flags; returns how many.
+
+        The surgical alternative to :meth:`flush` for callers whose keys are
+        stable across index mutations (the sharded engine's event caches):
+        only entries a subscription change actually touched go, the rest
+        keep serving hits."""
+        entries = self._entries
+        doomed = [key for key, value in entries.items() if stale(key, value)]
+        for key in doomed:
+            del entries[key]
+        if doomed:
+            self._obs_residency.set(len(entries) / self.capacity)
+        return len(doomed)
 
     def flush(self) -> int:
         """Drop every entry; returns how many were resident.  Counted as a
@@ -171,6 +191,7 @@ class ProjectionCache:
             self._entries.clear()
             self.flushes += 1
             self._obs_flushes.inc()
+            self._obs_residency.set(0.0)
         return flushed
 
     def __repr__(self) -> str:

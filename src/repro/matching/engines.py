@@ -39,7 +39,7 @@ from repro.matching.predicates import Subscription
 from repro.matching.schema import AttributeValue, EventSchema
 
 #: Valid engine names, in preference order.
-ENGINE_NAMES = ("compiled", "tree")
+ENGINE_NAMES = ("compiled", "sharded", "tree")
 
 #: The engine used when callers do not choose one.
 DEFAULT_ENGINE = "compiled"
@@ -208,8 +208,20 @@ class CompiledEngine(_EngineBase):
         self._obs_waste_ratio = registry.gauge("engine.compiled.waste_ratio")
 
     def invalidate(self) -> None:
-        """Drop the compiled form; the next match recompiles from the tree."""
-        self._program = None
+        """Drop the compiled form; the next match recompiles from the tree.
+
+        The projection caches live on the discarded program, so flush them
+        first: their hit/flush counters are program-independent aggregates,
+        and a cache keyed against a dead program must never satisfy a lookup
+        recorded as a hit.  The waste gauge resets with the program — a
+        fresh compile starts waste-free."""
+        if self._program is not None:
+            if self._program.match_cache is not None:
+                self._program.match_cache.flush()
+            if self._program.link_cache is not None:
+                self._program.link_cache.flush()
+            self._program = None
+            self._obs_waste_ratio.set(0.0)
 
     @property
     def program(self) -> CompiledProgram:
@@ -276,14 +288,35 @@ class CompiledEngine(_EngineBase):
             get_registry().counter("engine.annotation_rebuilds", engine=self.name).inc()
         return program
 
+    def _match_links_packed(
+        self, event: Event, yes_bits: int, maybe_bits: int
+    ) -> "tuple[int, int]":
+        """Packed-mask link matching without per-engine obs accounting.
+
+        Returns ``(final_yes_bits, steps)``.  This is the shard-side entry
+        point of :class:`~repro.matching.sharding.ShardedEngine`: the
+        sharded engine does its own (engine-labeled) accounting over the
+        merged result, so the per-shard calls must not also bump the
+        ``engine=compiled`` counters."""
+        num_links = self._require_links()
+        program = self._annotated_program(num_links)
+        return program.match_links(event, yes_bits, maybe_bits)
+
+    def _match_links_batch_packed(
+        self, events: Sequence[Event], yes_bits: int, maybe_bits: int
+    ) -> "List[tuple[int, int]]":
+        """Batch form of :meth:`_match_links_packed` (same contract)."""
+        num_links = self._require_links()
+        program = self._annotated_program(num_links)
+        return program.match_links_batch(events, yes_bits, maybe_bits)
+
     def match_links(
         self, event: Event, initialization_mask: TritVector
     ) -> LinkMatchResult:
         num_links = self._require_links()
         self._check_mask(initialization_mask)
-        program = self._annotated_program(num_links)
         yes_bits, maybe_bits = pack_tritvector(initialization_mask)
-        final_yes, steps = program.match_links(event, yes_bits, maybe_bits)
+        final_yes, steps = self._match_links_packed(event, yes_bits, maybe_bits)
         self._obs_link_matches.inc()
         self._obs_link_match_steps.inc(steps)
         return LinkMatchResult(unpack_tritvector(final_yes, 0, num_links), steps)
@@ -293,9 +326,8 @@ class CompiledEngine(_EngineBase):
     ) -> List[LinkMatchResult]:
         num_links = self._require_links()
         self._check_mask(initialization_mask)
-        program = self._annotated_program(num_links)
         yes_bits, maybe_bits = pack_tritvector(initialization_mask)
-        packed = program.match_links_batch(events, yes_bits, maybe_bits)
+        packed = self._match_links_batch_packed(events, yes_bits, maybe_bits)
         self._obs_link_matches.inc(len(packed))
         self._obs_link_match_steps.inc(sum(steps for _final, steps in packed))
         return [
@@ -311,17 +343,46 @@ def create_engine(
     attribute_order: Optional[Sequence[str]] = None,
     domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
     match_cache_capacity: Optional[int] = None,
+    shards: Optional[int] = None,
+    shard_policy: Optional[str] = None,
+    shard_workers: int = 0,
 ) -> MatcherEngine:
-    """Instantiate an engine by name (``"tree"`` or ``"compiled"``).
+    """Instantiate an engine by name (``"compiled"``, ``"sharded"``, ``"tree"``).
 
     ``match_cache_capacity`` tunes the compiled engine's projection caches
     (``0`` disables them); the tree engine has no cache and ignores it.
+    ``shards`` / ``shard_policy`` / ``shard_workers`` configure the sharded
+    engine (defaults: :data:`~repro.matching.sharding.DEFAULT_SHARDS` shards,
+    :data:`~repro.matching.sharding.DEFAULT_SHARD_POLICY` policy, serial
+    execution); the other engines ignore them.
     """
     if engine == "compiled":
         return CompiledEngine(
             schema,
             attribute_order=attribute_order,
             domains=domains,
+            match_cache_capacity=(
+                DEFAULT_MATCH_CACHE_CAPACITY
+                if match_cache_capacity is None
+                else match_cache_capacity
+            ),
+        )
+    if engine == "sharded":
+        # Imported here: sharding builds on CompiledEngine, so importing it
+        # at module scope would be a cycle.
+        from repro.matching.sharding import (
+            DEFAULT_SHARD_POLICY,
+            DEFAULT_SHARDS,
+            ShardedEngine,
+        )
+
+        return ShardedEngine(
+            schema,
+            attribute_order=attribute_order,
+            domains=domains,
+            num_shards=DEFAULT_SHARDS if shards is None else shards,
+            policy=DEFAULT_SHARD_POLICY if shard_policy is None else shard_policy,
+            workers=shard_workers,
             match_cache_capacity=(
                 DEFAULT_MATCH_CACHE_CAPACITY
                 if match_cache_capacity is None

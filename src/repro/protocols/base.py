@@ -153,6 +153,9 @@ class ProtocolContext:
         domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
         factoring_attributes: Optional[Sequence[str]] = None,
         engine: str = "compiled",
+        shards: Optional[int] = None,
+        shard_policy: Optional[str] = None,
+        shard_workers: int = 0,
     ) -> None:
         topology.validate()
         self.topology = topology
@@ -162,6 +165,9 @@ class ProtocolContext:
         self.domains = domains
         self.factoring_attributes = factoring_attributes
         self.engine = engine
+        self.shards = shards
+        self.shard_policy = shard_policy
+        self.shard_workers = shard_workers
         self.routing_tables: Dict[str, RoutingTable] = all_routing_tables(topology)
         self.spanning_trees: Dict[str, SpanningTree] = spanning_trees_for_publishers(topology)
 

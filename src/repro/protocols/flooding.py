@@ -53,6 +53,9 @@ class FloodingProtocol(RoutingProtocol):
                 context.schema,
                 attribute_order=context.attribute_order,
                 domains=context.domains,
+                shards=context.shards,
+                shard_policy=context.shard_policy,
+                shard_workers=context.shard_workers,
             )
             self._local_trees[broker] = tree
         self._subscriber_names = frozenset(topology.subscribers())

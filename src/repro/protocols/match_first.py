@@ -52,6 +52,9 @@ class MatchFirstProtocol(RoutingProtocol):
                 domains=context.domains,
                 factoring_attributes=context.factoring_attributes,
                 engine=context.engine,
+                shards=context.shards,
+                shard_policy=context.shard_policy,
+                shard_workers=context.shard_workers,
             )
             for subscription in context.subscriptions:
                 router.add_subscription(subscription)

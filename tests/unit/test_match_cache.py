@@ -85,6 +85,28 @@ class TestProjectionCache:
         assert cache.flushes == 1
         assert live_registry.counter("match.cache.flush", cache="match").value == 1
 
+    def test_residency_gauge_tracks_fill(self, live_registry):
+        cache = ProjectionCache(4)
+        gauge = live_registry.gauge("match.cache.residency", cache="match")
+        cache.put("a", 1)
+        assert gauge.value == 0.25
+        cache.put("b", 2)
+        assert gauge.value == 0.5
+        cache.flush()
+        assert gauge.value == 0.0
+
+    def test_evict_if_drops_only_flagged_entries(self, live_registry):
+        cache = ProjectionCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.evict_if(lambda key, value: value % 2 == 1) == 2
+        assert cache.get("b") == 2
+        assert cache.get("a") is None
+        assert live_registry.gauge("match.cache.residency", cache="match").value == 0.25
+        # Nothing flagged: a no-op that reports zero.
+        assert cache.evict_if(lambda key, value: False) == 0
+
 
 class TestCachedMatching:
     def test_repeat_match_is_a_cache_hit(self):
@@ -164,6 +186,36 @@ class TestInvalidation:
         assert len(program.match_cache) == 0
         expected_charge = resident >> _CACHE_RESIDENCY_WASTE_SHIFT
         assert program.waste == waste_before + expected_charge
+
+    def test_invalidate_flushes_caches_and_resets_waste_gauge(self, live_registry):
+        """Regression: ``invalidate()`` discards the program, so the caches
+        living on it must flush (their counters are program-independent
+        aggregates) and the waste gauge must return to zero — a fresh
+        compile starts waste-free."""
+        engine = build_engine(subscription("alice", a1=1))
+        engine.bind_links(1, lambda s: 0)
+        program = engine.program
+        for a in DOMAIN:
+            engine.match(event(a, 0, 0))
+        engine.match_links(event(1, 0, 0), TritVector([M]))
+        assert len(program.match_cache) == len(DOMAIN)
+        assert len(program.link_cache) == 1
+        engine.insert(subscription("bob", a2=1))  # patch: charges cache waste
+        gauge = live_registry.gauge("engine.compiled.waste_ratio")
+        assert gauge.value > 0.0
+        flushes = live_registry.counter("match.cache.flush", cache="match").value
+        engine.match(event(1, 0, 0))  # re-warm so invalidate has entries to drop
+        engine.invalidate()
+        assert gauge.value == 0.0
+        assert len(program.match_cache) == 0
+        assert len(program.link_cache) == 0
+        assert (
+            live_registry.counter("match.cache.flush", cache="match").value
+            == flushes + 1
+        )
+        assert {
+            s.subscriber for s in engine.match(event(1, 1, 0)).subscriptions
+        } == {"alice", "bob"}
 
     def test_annotate_flushes_link_cache_but_not_match_cache(self):
         engine = build_engine(subscription("s0", a1=1), subscription("s1", a2=2))
