@@ -44,13 +44,16 @@ RESULTS_PATH = RESULTS_DIR / "compare_engines.txt"
 ENGINES = ("tree", "compiled")
 
 
-def build_engine(name, subscriptions, *, cache=True):
+def build_engine(name, subscriptions, *, cache=True, backend=None):
     spec = CHART1_SPEC
     engine = create_engine(
         name,
         spec.schema(),
         domains=spec.domains(),
         match_cache_capacity=None if cache else 0,
+        # The tree engine has no kernels to swap; --backend only affects
+        # the compiled side of the comparison.
+        backend=backend if name == "compiled" else None,
     )
     for subscription in subscriptions:
         engine.insert(subscription)
@@ -104,7 +107,7 @@ def time_matches_churn(engine, events, churn, plan):
     return elapsed / len(events), total_steps / len(events)
 
 
-def run(counts, num_events, repeats, seed, *, cache=True, churn=0):
+def run(counts, num_events, repeats, seed, *, cache=True, churn=0, backend=None):
     """Sweep the subscription counts; returns (rows, rendered table text).
 
     Each row is ``{subscriptions, avg_steps, tree_us, compiled_us, speedup}``.
@@ -141,7 +144,9 @@ def run(counts, num_events, repeats, seed, *, cache=True, churn=0):
             if churn:
                 best = float("inf")
                 for _ in range(repeats):
-                    engine = build_engine(name, subscriptions, cache=cache)
+                    engine = build_engine(
+                        name, subscriptions, cache=cache, backend=backend
+                    )
                     engine.match(events[0])  # warm up (compiled: force compilation)
                     per_event, avg_steps = time_matches_churn(
                         engine, events, churn, plan
@@ -149,7 +154,9 @@ def run(counts, num_events, repeats, seed, *, cache=True, churn=0):
                     best = min(best, per_event)
                 per_match[name], steps[name] = best, avg_steps
             else:
-                engine = build_engine(name, subscriptions, cache=cache)
+                engine = build_engine(
+                    name, subscriptions, cache=cache, backend=backend
+                )
                 engine.match(events[0])  # warm up (compiled: force compilation)
                 per_match[name], steps[name] = time_matches(engine, events, repeats)
         assert steps["tree"] == steps["compiled"], "engines disagree on steps"
@@ -183,6 +190,7 @@ def emit_bench(rows, args, directory):
             "seed": args.seed,
             "cache": not args.no_cache,
             "churn": args.churn,
+            "backend": args.backend,
         },
         wall_clock_s=None,
         metrics=get_registry(),
@@ -218,6 +226,10 @@ def main(argv=None):
         "patch/recompile cost lands inside the timed region",
     )
     parser.add_argument(
+        "--backend", default=None, choices=("interp", "vector"),
+        help="kernel backend for the compiled engine (default: engine default)",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the compiled engine's projection-keyed match cache so "
         "the gate measures the raw kernel (repeated timing passes over the "
@@ -228,7 +240,7 @@ def main(argv=None):
     get_registry().enable()  # before any engine exists, so instruments record
     rows, table = run(
         args.counts, args.events, args.repeats, args.seed,
-        cache=not args.no_cache, churn=args.churn,
+        cache=not args.no_cache, churn=args.churn, backend=args.backend,
     )
     print(table)
     if args.save:

@@ -54,7 +54,7 @@ RESULTS_PATH = RESULTS_DIR / "shard_scaling.txt"
 STREAMS = ("cold", "churn")
 
 
-def build_engine(subscriptions, *, shards=None, policy=None, workers=0):
+def build_engine(subscriptions, *, shards=None, policy=None, workers=0, backend=None):
     """Monolithic compiled engine (``shards=None``) or a sharded one."""
     spec = CHART1_SPEC
     engine = create_engine(
@@ -64,6 +64,10 @@ def build_engine(subscriptions, *, shards=None, policy=None, workers=0):
         shards=shards,
         shard_policy=policy,
         shard_workers=workers,
+        # The monolithic baseline keeps the default kernel so speedups
+        # stay comparable across --backend values (and "procpool" is a
+        # sharded-only execution mode anyway).
+        backend=backend if shards is not None else None,
     )
     for subscription in subscriptions:
         engine.insert(subscription)
@@ -130,7 +134,7 @@ def time_churn(build, events, churn, plan, repeats):
 
 
 def run(subscriptions_count, num_events, pool_size, churn,
-        shard_counts, worker_counts, policy, repeats, seed):
+        shard_counts, worker_counts, policy, repeats, seed, backend=None):
     """Sweep shards x workers over both streams; returns (rows, table).
 
     Each row is ``{stream, shards, workers, per_event_us, speedup}`` where
@@ -188,7 +192,8 @@ def run(subscriptions_count, num_events, pool_size, churn,
                 per_event = timed(
                     stream,
                     lambda: build_engine(
-                        subscriptions, shards=shards, policy=policy, workers=workers
+                        subscriptions, shards=shards, policy=policy,
+                        workers=workers, backend=backend,
                     ),
                 )
                 speedup = baseline / per_event
@@ -223,6 +228,7 @@ def emit_bench(rows, args, directory):
             "policy": args.policy,
             "repeats": args.repeats,
             "seed": args.seed,
+            "backend": args.backend,
         },
         wall_clock_s=None,
         metrics=get_registry(),
@@ -259,6 +265,11 @@ def main(argv=None):
         "--policy", default="hash", choices=("round-robin", "hash", "balanced"),
         help="partition policy for the sharded engines",
     )
+    parser.add_argument(
+        "--backend", default=None, choices=("interp", "vector", "procpool"),
+        help="kernel backend for the sharded engines (the monolithic "
+        "baseline keeps the default kernel; procpool is sharded-only)",
+    )
     parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best kept)")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--save", action="store_true", help=f"write table to {RESULTS_PATH}")
@@ -285,7 +296,8 @@ def main(argv=None):
     get_registry().enable()  # before any engine exists, so instruments record
     rows, table = run(
         args.subscriptions, args.events, args.pool, args.churn,
-        args.shards_list, args.workers_list, args.policy, args.repeats, args.seed,
+        args.shards_list, args.workers_list, args.policy, args.repeats,
+        args.seed, args.backend,
     )
     print(table)
     if args.save:

@@ -52,17 +52,22 @@ def _metric_value(payload: Dict[str, Any], key: Optional[str]) -> Any:
 
 
 def _speedup_cell(payload: Dict[str, Any]) -> Any:
-    """compare_engines/batch_scaling/shard_scaling artifacts carry sweep
-    rows in ``extra``.
+    """compare_engines/batch_scaling/shard_scaling/backend_scaling
+    artifacts carry sweep rows in ``extra``.
 
-    The cell shows the sweep's headline row: the largest subscription count
-    (compare_engines), the pooled stream's largest batch (batch_scaling),
-    or the churn stream's best serial shard count (shard_scaling).
+    The cell shows the sweep's headline row: the vector kernel
+    (backend_scaling), the largest subscription count (compare_engines),
+    the pooled stream's largest batch (batch_scaling), or the churn
+    stream's best serial shard count (shard_scaling).
     """
     rows = payload.get("extra", {}).get("rows")
     if not rows:
         return ""
-    if any("subscriptions" in row for row in rows):
+    if any("mode" in row for row in rows):
+        gate_row = next(
+            (row for row in rows if row.get("backend") == "vector"), rows[0]
+        )
+    elif any("subscriptions" in row for row in rows):
         gate_row = max(rows, key=lambda row: row.get("subscriptions", 0))
     elif any("shards" in row for row in rows):
         serial_churn = [
@@ -83,6 +88,23 @@ def _speedup_cell(payload: Dict[str, Any]) -> Any:
     return f"{speedup:.2f}x" if isinstance(speedup, (int, float)) else ""
 
 
+def _backend_cell(payload: Dict[str, Any]) -> Any:
+    """The kernel backend a sweep ran on.
+
+    backend_scaling artifacts sweep the whole axis; the other scripts
+    record a single ``--backend`` choice in their workload block (absent
+    or null means the engine default).
+    """
+    rows = payload.get("extra", {}).get("rows") or []
+    if any("mode" in row for row in rows):
+        # Same headline row the speedup cell shows.
+        gate_row = next(
+            (row for row in rows if row.get("backend") == "vector"), rows[0]
+        )
+        return gate_row.get("backend", "")
+    return payload.get("workload", {}).get("backend") or ""
+
+
 def trend_tables(
     payloads: List[Dict[str, Any]],
     *,
@@ -98,7 +120,7 @@ def trend_tables(
 
     tables = []
     for name in sorted(by_name):
-        columns = ["created", "git_sha", "engine", "wall_clock_s", "speedup"]
+        columns = ["created", "git_sha", "engine", "backend", "wall_clock_s", "speedup"]
         if metric:
             columns.append(metric)
         table = ExperimentTable(f"Trend: {name}", columns)
@@ -111,6 +133,7 @@ def trend_tables(
                 created,
                 str(payload.get("git_sha", ""))[:10],
                 payload.get("engine") or "",
+                _backend_cell(payload),
                 f"{wall:.2f}" if isinstance(wall, (int, float)) else "",
                 _speedup_cell(payload),
             ]

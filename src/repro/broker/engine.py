@@ -48,6 +48,7 @@ class MatchingEngine:
         shards: Optional[int] = None,
         shard_policy: Optional[str] = None,
         shard_workers: int = 0,
+        backend: Optional[str] = None,
     ) -> None:
         self.schema = schema
         self.engine = engine
@@ -68,6 +69,7 @@ class MatchingEngine:
                     else None
                 ),
                 engine=engine,
+                backend=backend,
             )
         else:
             self.matcher = create_engine(
@@ -78,6 +80,7 @@ class MatchingEngine:
                 shards=shards,
                 shard_policy=shard_policy,
                 shard_workers=shard_workers,
+                backend=backend,
             )
 
     # ------------------------------------------------------------------

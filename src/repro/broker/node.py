@@ -63,6 +63,7 @@ class BrokerNetworkConfig:
         shards: Optional[int] = None,
         shard_policy: Optional[str] = None,
         shard_workers: int = 0,
+        backend: Optional[str] = None,
     ) -> None:
         topology.validate()
         if not topology.publishers():
@@ -76,6 +77,7 @@ class BrokerNetworkConfig:
         self.shards = shards
         self.shard_policy = shard_policy
         self.shard_workers = shard_workers
+        self.backend = backend
         self.routing_tables: Dict[str, RoutingTable] = all_routing_tables(topology)
         self.spanning_trees: Dict[str, SpanningTree] = spanning_trees_for_publishers(topology)
 
@@ -142,6 +144,7 @@ class BrokerNode:
             shards=config.shards,
             shard_policy=config.shard_policy,
             shard_workers=config.shard_workers,
+            backend=config.backend,
         )
         #: When set, per-client event logs are persisted under this
         #: directory (one subdirectory per broker), so reliable redelivery

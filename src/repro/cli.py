@@ -93,6 +93,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="thread-pool width for --engine sharded (0 = serial, the "
         "default; threads only pay off on GIL-free builds)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("interp", "vector", "procpool"),
+        default=None,
+        help="kernel execution backend: reference interpreter loops "
+        "(interp, the default), columnar bulk-array kernels (vector), or "
+        "shared-memory process workers for --engine sharded (procpool)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     chart1 = commands.add_parser("chart1", help="saturation points (flooding vs link matching)")
@@ -138,6 +146,7 @@ def _run_chart1(args: argparse.Namespace) -> None:
         shards=args.shards,
         shard_policy=args.shard_policy,
         shard_workers=args.shard_workers,
+        backend=args.backend,
         metrics_out=args.metrics_out,
     )
     table = run_chart1(config)
@@ -164,6 +173,7 @@ def _run_chart2(args: argparse.Namespace) -> None:
         shards=args.shards,
         shard_policy=args.shard_policy,
         shard_workers=args.shard_workers,
+        backend=args.backend,
         metrics_out=args.metrics_out,
     )
     table = run_chart2(config)
@@ -188,6 +198,7 @@ def _run_chart3(args: argparse.Namespace) -> None:
         shards=args.shards,
         shard_policy=args.shard_policy,
         shard_workers=args.shard_workers,
+        backend=args.backend,
         metrics_out=args.metrics_out,
     )
     table = run_chart3(config)
@@ -210,6 +221,7 @@ def _run_throughput(args: argparse.Namespace) -> None:
         shards=args.shards,
         shard_policy=args.shard_policy,
         shard_workers=args.shard_workers,
+        backend=args.backend,
         metrics_out=args.metrics_out,
     )
     print(run_throughput(config).format())
@@ -228,6 +240,7 @@ def _run_bursty(args: argparse.Namespace) -> None:
         shards=args.shards,
         shard_policy=args.shard_policy,
         shard_workers=args.shard_workers,
+        backend=args.backend,
         metrics_out=args.metrics_out,
     )
     print(run_bursty(config).format())
@@ -314,6 +327,7 @@ def _run_demo(args: argparse.Namespace) -> None:
         shards=args.shards,
         shard_policy=args.shard_policy,
         shard_workers=args.shard_workers,
+        backend=args.backend,
     )
     network.subscribe("alice", "issue='IBM' & price<120 & volume>1000")
     network.subscribe("bob", "volume>50000")

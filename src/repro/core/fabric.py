@@ -144,6 +144,7 @@ class ContentRoutedNetwork:
         shards: Optional[int] = None,
         shard_policy: Optional[str] = None,
         shard_workers: int = 0,
+        backend: Optional[str] = None,
     ) -> None:
         topology.validate()
         if not topology.publishers():
@@ -166,6 +167,7 @@ class ContentRoutedNetwork:
                 shards=shards,
                 shard_policy=shard_policy,
                 shard_workers=shard_workers,
+                backend=backend,
             )
             for broker in topology.brokers()
         }

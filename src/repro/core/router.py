@@ -88,6 +88,7 @@ class ContentRouter:
         shards: Optional[int] = None,
         shard_policy: Optional[str] = None,
         shard_workers: int = 0,
+        backend: Optional[str] = None,
     ) -> None:
         self.topology = topology
         self.broker = broker
@@ -123,6 +124,7 @@ class ContentRouter:
                     else None
                 ),
                 engine=engine,
+                backend=backend,
             )
         else:
             # Imported here rather than at module scope: repro.matching.engines
@@ -138,6 +140,7 @@ class ContentRouter:
                 shards=shards,
                 shard_policy=shard_policy,
                 shard_workers=shard_workers,
+                backend=backend,
             )
             self._engine.bind_links(self.links.num_links, self._link_of_subscriber)
         # Per-sub-tree link-matching state for the factored matcher; the

@@ -52,6 +52,8 @@ class BaselineConfig:
     shards: Optional[int] = None
     shard_policy: Optional[str] = None
     shard_workers: int = 0
+    #: Kernel execution backend (None = engine default).
+    backend: Optional[str] = None
 
 
 def run_baseline_comparison(config: BaselineConfig = BaselineConfig()) -> ExperimentTable:
@@ -90,6 +92,7 @@ def run_baseline_comparison(config: BaselineConfig = BaselineConfig()) -> Experi
             shards=config.shards,
             shard_policy=config.shard_policy,
             shard_workers=config.shard_workers,
+            backend=config.backend,
         )
         protocols: List[RoutingProtocol] = [
             LinkMatchingProtocol(context),

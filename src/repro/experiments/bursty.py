@@ -45,6 +45,8 @@ class BurstyConfig:
     shards: Optional[int] = None
     shard_policy: Optional[str] = None
     shard_workers: int = 0
+    #: Kernel execution backend (None = engine default).
+    backend: Optional[str] = None
     #: Optional path: write the global obs-registry JSON snapshot here.
     metrics_out: Optional[str] = None
 
@@ -83,6 +85,7 @@ def _run_bursty(config: BurstyConfig) -> ExperimentTable:
         shards=config.shards,
         shard_policy=config.shard_policy,
         shard_workers=config.shard_workers,
+        backend=config.backend,
     )
     protocol = LinkMatchingProtocol(context)
     publishers = topology.publishers()

@@ -58,6 +58,8 @@ class Chart1Config:
     shards: Optional[int] = None
     shard_policy: Optional[str] = None
     shard_workers: int = 0
+    #: Kernel execution backend (None = engine default).
+    backend: Optional[str] = None
     #: Optional path: write the global obs-registry JSON snapshot here.
     metrics_out: Optional[str] = None
 
@@ -138,6 +140,7 @@ def _run_chart1(config: Chart1Config) -> ExperimentTable:
             shards=config.shards,
             shard_policy=config.shard_policy,
             shard_workers=config.shard_workers,
+            backend=config.backend,
         )
         for protocol in _protocols(context, config):
             result = saturation_for(topology, protocol, events, config)

@@ -40,6 +40,8 @@ class Chart3Config:
     shards: Optional[int] = None
     shard_policy: Optional[str] = None
     shard_workers: int = 0
+    #: Kernel execution backend (None = engine default).
+    backend: Optional[str] = None
     #: Optional path: write the global obs-registry JSON snapshot here.
     metrics_out: Optional[str] = None
 
@@ -105,6 +107,7 @@ def _run_chart3(config: Chart3Config) -> ExperimentTable:
             shards=config.shards,
             shard_policy=config.shard_policy,
             shard_workers=config.shard_workers,
+            backend=config.backend,
         )
         for subscription in subscriptions:
             engine.matcher.insert(subscription)

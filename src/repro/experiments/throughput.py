@@ -43,6 +43,8 @@ class ThroughputConfig:
     shards: Optional[int] = None
     shard_policy: Optional[str] = None
     shard_workers: int = 0
+    #: Kernel execution backend (None = engine default).
+    backend: Optional[str] = None
     #: Optional path: write the global obs-registry JSON snapshot here.
     metrics_out: Optional[str] = None
 
@@ -85,6 +87,7 @@ def _run_throughput(config: ThroughputConfig) -> ExperimentTable:
             shards=config.shards,
             shard_policy=config.shard_policy,
             shard_workers=config.shard_workers,
+            backend=config.backend,
         )
         transport = InMemoryTransport()
         node = BrokerNode(broker_config, "B0", transport, {"B0": "mem://B0"})
@@ -122,6 +125,7 @@ def _run_throughput(config: ThroughputConfig) -> ExperimentTable:
             shards=config.shards,
             shard_policy=config.shard_policy,
             shard_workers=config.shard_workers,
+            backend=config.backend,
         )
         for subscription in node.router.matcher.subscriptions:
             engine.matcher.insert(subscription)

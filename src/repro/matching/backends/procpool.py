@@ -1,0 +1,385 @@
+"""Shared-memory process workers for the sharded engine.
+
+``procpool`` is not an in-process kernel: it is an *execution mode* of
+:class:`~repro.matching.sharding.ShardedEngine` in which batched matching
+runs in worker **processes** instead of the parent, sidestepping the GIL
+that makes thread fan-out a no-op for the pure-Python kernels.
+
+The expensive part of process workers is shipping the compiled program, so
+this module never pickles a program per call.  Instead the parent
+*publishes* each shard's program once into a
+:mod:`multiprocessing.shared_memory` segment and thereafter sends only tiny
+work orders over a pipe:
+
+* **Publication** — :meth:`ProcPoolExecutor.publish` serializes a
+  :class:`ProgramImage` payload (the fused records with leaf subscriptions
+  replaced by their integer ids, the value-interning table, and the packed
+  annotation arrays) into a fresh shared-memory segment.  Publications are
+  keyed by ``(program_uid, generation)``: churn that patches or re-annotates
+  a shard bumps its program's generation, and the next dispatch republishes
+  that shard under a new segment name while unlinking the old one.  An
+  unchanged shard is never re-serialized.
+* **Dispatch** — one pipe round-trip per worker per batch.  A work order is
+  ``(shard_index, shm_name, size, op, payload)`` where ``payload`` carries
+  plain event value tuples; the reply is ``("ok", results)`` or
+  ``("err", traceback_text)``.  Workers cache the deserialized image per
+  shard and re-read shared memory only when the segment name changes (a
+  fresh name *is* a new ``(program_uid, generation)``, so the name doubles
+  as the cache key).
+* **Execution** — workers run the ordinary :class:`KernelBackend` kernels
+  (the ``vector`` backend by default, which itself falls back to pure
+  Python when numpy is absent) over the reconstructed image.  The kernels
+  only need the record surface (``_records``/``value_ids``/``ann_yes``/
+  ``ann_maybe``/``generation``/``backend_state``), which is exactly what
+  :class:`ProgramImage` provides — results are therefore bit-identical to
+  the parent's ``interp`` kernel: same match *sets* (as subscription ids,
+  mapped back to live :class:`~repro.matching.predicates.Subscription`
+  objects by the parent), same step counts, same refined link masks.
+
+Worker failures never hang the parent: a worker that raises sends the
+formatted traceback back and keeps serving; a worker that *dies* surfaces
+as a :class:`ProcPoolError` naming the worker on the very next dispatch.
+
+Observability (all labeled ``backend="procpool"``):
+
+* ``engine.backend.republishes`` — shared-memory publications (first
+  publication and every generation change);
+* ``engine.backend.dispatches`` — worker pipe round-trips;
+* ``engine.backend.shm_bytes`` — total bytes currently published.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import traceback
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.obs import get_registry
+
+#: Kernel the workers execute with.  ``vector`` degrades gracefully: with
+#: numpy it runs the columnar kernel, without it the zero-dependency column
+#: fallback — either way bit-identical to ``interp``.
+DEFAULT_WORKER_KERNEL = "vector"
+
+#: Seconds to wait for a worker to exit cooperatively before terminating it.
+_SHUTDOWN_GRACE_S = 5.0
+
+
+class ProcPoolError(ReproError):
+    """A procpool worker died or reported an execution failure."""
+
+
+class ProgramImage:
+    """The kernel-facing view of a published program, worker-side.
+
+    Exposes exactly the record surface the kernels read.  Leaf records hold
+    subscription *ids* (ints) instead of live ``Subscription`` objects; the
+    kernels are indifferent (they only ever ``extend`` matched lists with
+    whatever a leaf holds), and the parent maps ids back to the shard's live
+    objects after the round-trip.
+    """
+
+    __slots__ = (
+        "_records",
+        "value_ids",
+        "ann_yes",
+        "ann_maybe",
+        "generation",
+        "backend_state",
+    )
+
+    def __init__(
+        self,
+        records: List[tuple],
+        value_ids: Dict[object, int],
+        ann_yes: List[int],
+        ann_maybe: List[int],
+    ) -> None:
+        self._records = records
+        self.value_ids = value_ids
+        self.ann_yes = ann_yes
+        self.ann_maybe = ann_maybe
+        # A worker sees each publication as a fresh image with fresh scratch,
+        # so the generation can start at zero: backend state (the vector
+        # backend's columnar index) is keyed per image, never across images.
+        self.generation = 0
+        self.backend_state: Dict[str, object] = {}
+
+
+def _image_payload(program) -> bytes:
+    """Pickle ``program``'s record surface with leaf subs as id tuples."""
+    records = [
+        record
+        if record[4] is None
+        else (
+            record[0],
+            record[1],
+            record[2],
+            record[3],
+            tuple(sub.subscription_id for sub in record[4]),
+        )
+        for record in program._records
+    ]
+    return pickle.dumps(
+        (records, program.value_ids, list(program.ann_yes), list(program.ann_maybe)),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def _worker_main(conn, kernel_name: str) -> None:
+    """Worker loop: receive work orders, run kernels over cached images.
+
+    Runs until the parent sends ``None`` or the pipe closes.  Exceptions
+    while *executing* are reported back as ``("err", traceback)`` so the
+    parent can re-raise with context; the worker itself keeps serving.
+    """
+    from repro.matching.backends import create_backend
+
+    kernel = create_backend(kernel_name)
+    # shard_index -> (shm_name, image, shm handle); replaced when the parent
+    # publishes that shard under a new segment name.
+    images: Dict[int, Tuple[str, ProgramImage, shared_memory.SharedMemory]] = {}
+    try:
+        while True:
+            try:
+                request = conn.recv()
+            except (EOFError, OSError):
+                break
+            if request is None:
+                break
+            try:
+                replies = []
+                for shard_index, shm_name, size, op, payload in request:
+                    cached = images.get(shard_index)
+                    if cached is None or cached[0] != shm_name:
+                        if cached is not None:
+                            cached[2].close()
+                        shm = shared_memory.SharedMemory(name=shm_name)
+                        records, value_ids, ann_yes, ann_maybe = pickle.loads(
+                            bytes(shm.buf[:size])
+                        )
+                        image = ProgramImage(records, value_ids, ann_yes, ann_maybe)
+                        images[shard_index] = (shm_name, image, shm)
+                    else:
+                        image = cached[1]
+                    if op == "match_batch":
+                        replies.append(kernel.match_batch(image, payload))
+                    elif op == "links_batch":
+                        value_tuples, yes_bits, maybe_bits = payload
+                        replies.append(
+                            kernel.match_links_batch(
+                                image, value_tuples, yes_bits, maybe_bits
+                            )
+                        )
+                    else:
+                        raise ValueError(f"unknown procpool op {op!r}")
+                conn.send(("ok", replies))
+            except Exception:
+                conn.send(("err", traceback.format_exc()))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for _name, _image, shm in images.values():
+            shm.close()
+        conn.close()
+
+
+class _Publication:
+    """One shard's current shared-memory segment plus the id->object map."""
+
+    __slots__ = ("key", "name", "size", "shm", "sub_by_id")
+
+    def __init__(
+        self,
+        key: Tuple[int, int],
+        shm: shared_memory.SharedMemory,
+        size: int,
+        sub_by_id: Dict[int, object],
+    ) -> None:
+        self.key = key
+        self.name = shm.name
+        self.size = size
+        self.shm = shm
+        self.sub_by_id = sub_by_id
+
+
+class ProcPoolExecutor:
+    """Lazy pool of kernel worker processes plus the publication registry.
+
+    Owned by a :class:`~repro.matching.sharding.ShardedEngine` running with
+    ``backend="procpool"``.  Workers start on the first dispatch (a
+    construct-and-close engine never forks); shard ``i`` is served by worker
+    ``i % num_workers`` so a shard's image is cached in exactly one worker.
+    """
+
+    def __init__(
+        self, num_workers: int, *, kernel: str = DEFAULT_WORKER_KERNEL
+    ) -> None:
+        if num_workers < 1:
+            raise ProcPoolError("procpool needs at least one worker")
+        self.num_workers = num_workers
+        self.kernel = kernel
+        self._workers: Optional[List[Tuple[object, object]]] = None
+        self._published: Dict[int, _Publication] = {}
+        self._closed = False
+        registry = get_registry()
+        self._obs_republishes = registry.counter(
+            "engine.backend.republishes", backend="procpool"
+        )
+        self._obs_dispatches = registry.counter(
+            "engine.backend.dispatches", backend="procpool"
+        )
+        self._obs_shm_bytes = registry.gauge(
+            "engine.backend.shm_bytes", backend="procpool"
+        )
+
+    # ------------------------------------------------------------------
+    # Publication
+
+    def publish(self, shard_index: int, program) -> _Publication:
+        """The shard's current publication, (re)publishing if stale.
+
+        Keyed by ``(program_uid, generation)``: a patched, re-annotated, or
+        recompiled program gets a fresh segment; an unchanged one returns
+        the existing publication without touching shared memory.
+        """
+        key = (program.program_uid, program.generation)
+        current = self._published.get(shard_index)
+        if current is not None and current.key == key:
+            return current
+        payload = _image_payload(program)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+        shm.buf[: len(payload)] = payload
+        sub_by_id: Dict[int, object] = {}
+        for record in program._records:
+            if record[4] is not None:
+                for sub in record[4]:
+                    sub_by_id[sub.subscription_id] = sub
+        publication = _Publication(key, shm, len(payload), sub_by_id)
+        if current is not None:
+            # Workers attach by the *current* name only, so the old segment
+            # can be unlinked immediately (attached workers keep it mapped
+            # until they swap to the new name).
+            current.shm.close()
+            current.shm.unlink()
+        self._published[shard_index] = publication
+        self._obs_republishes.inc()
+        self._obs_shm_bytes.set(
+            float(sum(entry.size for entry in self._published.values()))
+        )
+        return publication
+
+    # ------------------------------------------------------------------
+    # Dispatch
+
+    def _ensure_workers(self) -> List[Tuple[object, object]]:
+        if self._closed:
+            raise ProcPoolError("procpool executor is closed")
+        workers = self._workers
+        if workers is None:
+            # Prefer fork (cheap, no re-import); fall back to the platform
+            # default where fork is unavailable (_worker_main is a module
+            # level function, so every start method can target it).
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:
+                ctx = multiprocessing.get_context()
+            workers = []
+            for _ in range(self.num_workers):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, self.kernel),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                workers.append((process, parent_conn))
+            self._workers = workers
+        return workers
+
+    def run(self, ops: List[tuple]) -> List[list]:
+        """Execute work orders, one pipe round-trip per involved worker.
+
+        ``ops`` elements are ``(shard_index, shm_name, size, op, payload)``;
+        the result list is parallel to ``ops``.  All requests are written
+        before any reply is read, so workers execute concurrently.
+        """
+        workers = self._ensure_workers()
+        by_worker: Dict[int, List[int]] = {}
+        for slot, op in enumerate(ops):
+            by_worker.setdefault(op[0] % self.num_workers, []).append(slot)
+        for worker_index, slots in by_worker.items():
+            process, conn = workers[worker_index]
+            try:
+                conn.send([ops[slot] for slot in slots])
+            except (OSError, BrokenPipeError) as error:
+                raise ProcPoolError(
+                    f"procpool worker {worker_index} (pid {process.pid}) died "
+                    f"before accepting work"
+                ) from error
+        results: List[Optional[list]] = [None] * len(ops)
+        for worker_index, slots in by_worker.items():
+            process, conn = workers[worker_index]
+            try:
+                status, replies = conn.recv()
+            except (EOFError, OSError) as error:
+                raise ProcPoolError(
+                    f"procpool worker {worker_index} (pid {process.pid}) died "
+                    f"mid-dispatch (exit code {process.exitcode})"
+                ) from error
+            if status != "ok":
+                raise ProcPoolError(
+                    f"procpool worker {worker_index} raised while matching:\n{replies}"
+                )
+            for slot, reply in zip(slots, replies):
+                results[slot] = reply
+        self._obs_dispatches.inc(len(by_worker))
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def close(self) -> None:
+        """Stop workers and unlink every published segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._workers is not None:
+            for _process, conn in self._workers:
+                try:
+                    conn.send(None)
+                except (OSError, BrokenPipeError):
+                    pass
+            for process, conn in self._workers:
+                process.join(timeout=_SHUTDOWN_GRACE_S)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=_SHUTDOWN_GRACE_S)
+                conn.close()
+            self._workers = None
+        for publication in self._published.values():
+            publication.shm.close()
+            try:
+                publication.shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._published.clear()
+        self._obs_shm_bytes.set(0.0)
+
+    def __del__(self) -> None:
+        # Best effort: an engine that was never close()d must not leak
+        # worker processes or shared-memory segments.
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            "idle" if self._workers is None else f"{self.num_workers} workers"
+        )
+        return f"ProcPoolExecutor({state}, kernel={self.kernel!r})"

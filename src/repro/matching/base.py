@@ -10,7 +10,7 @@ and gives a single place to explain the semantics.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, List, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, List, Sequence, TypeVar
 
 from repro.matching.events import Event
 from repro.matching.pst import MatchResult
@@ -20,6 +20,33 @@ if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.core
     from repro.core.annotation import LinkOfSubscriber
     from repro.core.link_matcher import LinkMatchResult
     from repro.core.trits import TritVector
+
+_R = TypeVar("_R")
+
+
+def per_event_loop(fn: Callable[[Event], _R], events: Sequence[Event]) -> List[_R]:
+    """The per-event batch fallback: result ``i`` is exactly ``fn(events[i])``.
+
+    The one canonical form of the loop that the base-class batch methods
+    (and any engine without a real batched kernel) fall back to — kept as a
+    named helper so implementations don't each re-grow their own copy.
+    """
+    return [fn(event) for event in events]
+
+
+def union_merge(results: Iterable[MatchResult]) -> MatchResult:
+    """Union-merge per-partition answers for one event.
+
+    For *disjoint* partitions (the sharded engine's contract) concatenation
+    is an exact, duplicate-free union; steps add up because every partition
+    reports the walk a dedicated engine over its subscriptions would take.
+    """
+    matched: List[Subscription] = []
+    steps = 0
+    for result in results:
+        matched.extend(result.subscriptions)
+        steps += result.steps
+    return MatchResult(matched, steps)
 
 
 class Matcher(abc.ABC):
@@ -51,11 +78,11 @@ class Matcher(abc.ABC):
         """Match a batch of events.
 
         Result ``i`` is exactly ``match(events[i])`` — same match set, same
-        step count.  This base fallback just loops; engines with a real
-        batched kernel (``CompiledEngine``) override it to amortize
-        traversal across the batch and hit the projection cache.
+        step count.  This base fallback just loops (:func:`per_event_loop`);
+        engines with a real batched kernel (``CompiledEngine``) override it
+        to amortize traversal across the batch and hit the projection cache.
         """
-        return [self.match(event) for event in events]
+        return per_event_loop(self.match, events)
 
     @property
     @abc.abstractmethod
@@ -110,10 +137,12 @@ class MatcherEngine(Matcher):
         """Refine one shared initialization mask for a batch of events.
 
         Result ``i`` is exactly ``match_links(events[i], mask)``.  This base
-        fallback loops; ``CompiledEngine`` overrides it with the
-        deduplicating, cache-backed batch path.
+        fallback loops (:func:`per_event_loop`); ``CompiledEngine``
+        overrides it with the deduplicating, cache-backed batch path.
         """
-        return [self.match_links(event, initialization_mask) for event in events]
+        return per_event_loop(
+            lambda event: self.match_links(event, initialization_mask), events
+        )
 
 
 # ParallelSearchTree satisfies the interface structurally; register it so

@@ -15,6 +15,13 @@ per-visit allocation) kernels run:
   with trit masks packed as two integer bitmasks (``yes_bits``/``maybe_bits``)
   per :mod:`repro.core.trits`.
 
+The kernel *loops* themselves live in :mod:`repro.matching.backends` behind
+the :class:`~repro.matching.backends.KernelBackend` interface (``interp``
+is the reference loop, ``vector`` the columnar bulk-array one); this module
+owns everything execution-independent — lowering, patching, annotation,
+projection caching, and batch deduplication — and delegates the raw walks
+to the program's :attr:`~CompiledProgram.backend`.
+
 Array layout (one slot per node, node 0 is always the root):
 
 ========================  ====================================================
@@ -70,14 +77,16 @@ refined link masks.  Two mechanisms exploit this:
 
 from __future__ import annotations
 
+import itertools
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import RoutingError, SubscriptionError
 from repro.core.trits import (
     alternative_combine_bits,
     parallel_combine_bits,
 )
+from repro.matching.backends import DEFAULT_BACKEND, KernelBackend, create_backend
 from repro.matching.events import Event
 from repro.matching.predicates import (
     AttributeTest,
@@ -86,7 +95,7 @@ from repro.matching.predicates import (
     Subscription,
 )
 from repro.matching.pst import MatchResult, ParallelSearchTree, PSTNode
-from repro.matching.schema import AttributeValue
+from repro.matching.schema import AttributeValue, EventSchema
 from repro.obs import get_registry
 
 #: Maps a subscription to the broker-local (virtual) link position through
@@ -101,10 +110,10 @@ DEFAULT_MATCH_CACHE_CAPACITY = 4096
 #: cannot see, so residency pushes the program toward a compact recompile.
 _CACHE_RESIDENCY_WASTE_SHIFT = 2  # charge = flushed_entries >> 2
 
-#: Below this subset width the batched frontier kernel stops splitting and
-#: runs the single-event inner loop per member: partitioning a narrow subset
-#: at a value table costs more than the node visits it would deduplicate.
-_MIN_SHARED_MEMBERS = 8
+#: Per-process unique ids for compiled programs; ``(program_uid,
+#: generation)`` is the identity the procpool backend keys its
+#: shared-memory publications on (``id()`` can be recycled, this cannot).
+_program_uids = itertools.count()
 
 
 class ProjectionCache:
@@ -237,6 +246,14 @@ class CompiledProgram:
         "num_links",
         "_link_of_subscriber",
         "_waste",
+        "_schema_ok",
+        # execution backend
+        "backend",
+        "generation",
+        "backend_state",
+        "program_uid",
+        "_obs_kernel_calls",
+        "_obs_kernel_events",
         # projection caching
         "_tested_positions",
         "_tested_sorted",
@@ -249,6 +266,7 @@ class CompiledProgram:
         tree: ParallelSearchTree,
         *,
         cache_capacity: int = DEFAULT_MATCH_CACHE_CAPACITY,
+        backend: Union[str, KernelBackend, None] = None,
     ) -> None:
         self.schema = tree.schema
         self.attribute_order = tree.attribute_order
@@ -280,6 +298,29 @@ class CompiledProgram:
         self.num_links: Optional[int] = None
         self._link_of_subscriber: Optional[LinkOfSubscriber] = None
         self._waste = 0
+        #: Last foreign schema object that deep-compared equal to ours —
+        #: kept as a strong reference so the ``is`` fast path in
+        #: :meth:`_schema_mismatch` cannot be fooled by id reuse.
+        self._schema_ok: Optional[EventSchema] = None
+        if backend is None:
+            backend = DEFAULT_BACKEND
+        self.backend: KernelBackend = (
+            create_backend(backend) if isinstance(backend, str) else backend
+        )
+        #: Bumped on every mutation of the record arrays (patch, annotate);
+        #: backends key derived state on it and republish/rebuild lazily.
+        self.generation = 0
+        #: Backend-owned scratch (vector's columnar index, …), cleared on
+        #: every generation bump.
+        self.backend_state: Dict[str, object] = {}
+        self.program_uid = next(_program_uids)
+        registry = get_registry()
+        self._obs_kernel_calls = registry.counter(
+            "engine.backend.kernel_calls", backend=self.backend.name
+        )
+        self._obs_kernel_events = registry.counter(
+            "engine.backend.kernel_events", backend=self.backend.name
+        )
         self._tested_positions: set = set()
         self._tested_sorted: Tuple[int, ...] = ()
         self.match_cache: Optional[ProjectionCache] = (
@@ -425,6 +466,10 @@ class CompiledProgram:
             # New annotations change refinement results; match results only
             # depend on the tree structure, so the match cache survives.
             self.link_cache.flush()
+        # The annotation arrays are part of the record surface backends
+        # execute over (the link kernels read them), so re-annotation moves
+        # the generation like any other array mutation.
+        self._bump_generation()
         stack: List[Tuple[int, bool]] = [(0, False)]
         event_pos = self.event_pos
         while stack:
@@ -523,6 +568,21 @@ class CompiledProgram:
         """Schema positions the compiled tree actually tests, sorted."""
         return self._tested_sorted
 
+    def _schema_mismatch(self, event: Event) -> bool:
+        """O(1) schema guard for the per-event hot paths.
+
+        Schemas are immutable value objects, so one deep comparison per
+        foreign schema *object* suffices; after that, identity settles it
+        (the matched object is kept in :attr:`_schema_ok` so its id cannot
+        be recycled)."""
+        schema = event.schema
+        if schema is self.schema or schema is self._schema_ok:
+            return False
+        if schema != self.schema:
+            return True
+        self._schema_ok = schema
+        return False
+
     def projection_key(self, event: Event) -> Tuple[AttributeValue, ...]:
         """The event's values at the tested positions — the cache key.
 
@@ -540,13 +600,15 @@ class CompiledProgram:
         node is appended to the work queue once and processed once, so the
         ``steps`` count is identical (it is simply the final queue length);
         only the visit *order* differs (breadth-first rather than LIFO),
-        which neither the match set nor the step count observes.
+        which neither the match set nor the step count observes.  The walk
+        itself is the :attr:`backend`'s single-event kernel; every backend
+        returns what ``interp`` returns, bit for bit.
 
         Results are memoized in :attr:`match_cache` under the event's
         :meth:`projection_key`; cached subscription lists are shared between
         results and must be treated as read-only by callers.
         """
-        if event.schema != self.schema:
+        if self._schema_mismatch(event):
             raise SubscriptionError("event schema does not match the tree's schema")
         cache = self.match_cache
         key: Optional[Tuple[AttributeValue, ...]] = None
@@ -555,35 +617,12 @@ class CompiledProgram:
             entry = cache.get(key)
             if entry is not None:
                 return MatchResult(entry[0], entry[1])
-        values = event.as_tuple()
-        value_ids = self.value_ids
-        interned = [value_ids.get(value) for value in values]
-        records = self._records
-        matched: List[Subscription] = []
-        extend = matched.extend
-        # The for loop walks the queue while children are appended to it —
-        # CPython list iteration sees the growth, giving a pop-free BFS.
-        queue = [0]
-        push = queue.append
-        for node_index in queue:
-            position, table, ranges, star_child, subs = records[node_index]
-            if position >= 0:
-                if table is not None:
-                    child = table.get(interned[position])
-                    if child is not None:
-                        push(child)
-                if ranges is not None:
-                    value = values[position]
-                    for test, range_child in ranges:
-                        if test.evaluate(value):
-                            push(range_child)
-                if star_child >= 0:
-                    push(star_child)
-            elif subs is not None:
-                extend(subs)
+        matched, steps = self.backend.match(self, event.as_tuple())
+        self._obs_kernel_calls.inc()
+        self._obs_kernel_events.inc()
         if cache is not None:
-            cache.put(key, (matched, len(queue)))
-        return MatchResult(matched, len(queue))
+            cache.put(key, (matched, steps))
+        return MatchResult(matched, steps)
 
     def match_batch(self, events: Sequence[Event]) -> List[MatchResult]:
         """Match a batch of events through one shared array walk.
@@ -592,9 +631,10 @@ class CompiledProgram:
         count); across the batch, events are first deduplicated by
         :meth:`projection_key` — repeats are served from :attr:`match_cache`
         or from the batch-local result — and the remaining unique
-        projections walk the arrays together with a frontier of
-        ``(node, event-subset)`` pairs, so shared value-branch prefixes are
-        traversed once for the whole subset.
+        projections go through the :attr:`backend`'s batch kernel in one
+        call (``interp`` walks them with a shared ``(node, event-subset)``
+        frontier; ``vector`` advances the whole frontier per level with
+        bulk array operations).
         """
         if not events:
             return []
@@ -605,7 +645,7 @@ class CompiledProgram:
         pending: Dict[Tuple[AttributeValue, ...], List[int]] = {}
         representatives: List[Tuple[Tuple[AttributeValue, ...], Event]] = []
         for i, event in enumerate(events):
-            if event.schema != self.schema:
+            if self._schema_mismatch(event):
                 raise SubscriptionError("event schema does not match the tree's schema")
             key = self.projection_key(event)
             if cache is not None:
@@ -620,122 +660,17 @@ class CompiledProgram:
             else:
                 group.append(i)
         if representatives:
-            kernel_out = self._match_kernel_batch(
-                [event.as_tuple() for _key, event in representatives]
+            kernel_out = self.backend.match_batch(
+                self, [event.as_tuple() for _key, event in representatives]
             )
+            self._obs_kernel_calls.inc()
+            self._obs_kernel_events.inc(len(representatives))
             for (key, _event), entry in zip(representatives, kernel_out):
                 if cache is not None:
                     cache.put(key, entry)
                 for i in pending[key]:
                     results[i] = entry
         return [MatchResult(entry[0], entry[1]) for entry in results]
-
-    def _match_kernel_batch(
-        self, value_tuples: List[Tuple[AttributeValue, ...]]
-    ) -> List[Tuple[List[Subscription], int]]:
-        """The frontier kernel: one BFS over the arrays for many events.
-
-        Each frontier entry pairs a node with the (indices of) events whose
-        single-event search would visit it; a subset splits at value tables
-        by the events' interned values and filters at range slices, while
-        the ``*``-branch carries the whole subset down.  Because the source
-        structure is a tree, every node appears in at most one frontier
-        entry, so an event's step count — the number of entries containing
-        it — equals its single-event queue length exactly.
-
-        Two refinements keep the shared walk from costing more than it
-        saves.  Subsets below :data:`_MIN_SHARED_MEMBERS` finish with the
-        single-event inner loop, one member at a time — the grouping
-        bookkeeping only pays for itself while a subset is still wide
-        enough that splitting it costs less than visiting the node once
-        per member.  And step accounting exploits subset sharing:
-        ``*``-branches carry the parent's member *list object* down
-        unchanged, so entry visits are tallied per list identity and
-        distributed to the events once at the end — a whole star chain
-        costs one increment per level instead of ``len(members)``.
-        """
-        value_ids = self.value_ids
-        records = self._records
-        n = len(value_tuples)
-        interned = [
-            [value_ids.get(value) for value in values] for values in value_tuples
-        ]
-        matched: List[List[Subscription]] = [[] for _ in range(n)]
-        steps = [0] * n
-        # id(list) -> [visit count, members]; member lists are never mutated
-        # after creation, so identity is a safe aggregation key.
-        visited: Dict[int, List[object]] = {}
-        frontier: List[Tuple[int, List[int]]] = [(0, list(range(n)))]
-        push = frontier.append
-        for node_index, members in frontier:
-            if len(members) < _MIN_SHARED_MEMBERS:
-                # Narrow tail: per member, identical to the single-event
-                # kernel (same visits, steps from the queue length).
-                for e in members:
-                    e_interned = interned[e]
-                    e_values = value_tuples[e]
-                    extend = matched[e].extend
-                    queue = [node_index]
-                    tail_push = queue.append
-                    for tail_index in queue:
-                        position, table, ranges, star_child, subs = records[tail_index]
-                        if position >= 0:
-                            if table is not None:
-                                child = table.get(e_interned[position])
-                                if child is not None:
-                                    tail_push(child)
-                            if ranges is not None:
-                                value = e_values[position]
-                                for test, range_child in ranges:
-                                    if test.evaluate(value):
-                                        tail_push(range_child)
-                            if star_child >= 0:
-                                tail_push(star_child)
-                        elif subs is not None:
-                            extend(subs)
-                    steps[e] += len(queue)
-                continue
-            position, table, ranges, star_child, subs = records[node_index]
-            tally = visited.get(id(members))
-            if tally is None:
-                visited[id(members)] = [1, members]
-            else:
-                tally[0] += 1
-            if position >= 0:
-                if table is not None:
-                    groups: Dict[int, List[int]] = {}
-                    groups_get = groups.get
-                    table_get = table.get
-                    for e in members:
-                        child = table_get(interned[e][position])
-                        if child is not None:
-                            group = groups_get(child)
-                            if group is None:
-                                groups[child] = [e]
-                            else:
-                                group.append(e)
-                    for child, group in groups.items():
-                        push((child, group))
-                if ranges is not None:
-                    for test, range_child in ranges:
-                        evaluate = test.evaluate
-                        passing = [
-                            e for e in members if evaluate(value_tuples[e][position])
-                        ]
-                        if passing:
-                            push((range_child, passing))
-                if star_child >= 0:
-                    push((star_child, members))
-            elif subs is not None:
-                for e in members:
-                    matched[e].extend(subs)
-        # Distribute the per-list entry tallies (every entry a list appeared
-        # in is one step for each of its members).  The frontier still holds
-        # references to every member list, so ids cannot have been recycled.
-        for count, group in visited.values():
-            for e in group:
-                steps[e] += count
-        return [(matched[i], steps[i]) for i in range(n)]
 
     def match_links(
         self, event: Event, yes_bits: int, maybe_bits: int
@@ -755,7 +690,7 @@ class CompiledProgram:
         """
         if not self.annotated:
             raise RoutingError("program has no link annotations — call annotate()")
-        if event.schema != self.schema:
+        if self._schema_mismatch(event):
             raise RoutingError("event schema does not match the annotated tree")
         cache = self.link_cache
         if cache is None:
@@ -766,6 +701,14 @@ class CompiledProgram:
             return entry
         result = self._link_kernel(event, yes_bits, maybe_bits)
         cache.put(key, result)
+        return result
+
+    def _link_kernel(
+        self, event: Event, yes_bits: int, maybe_bits: int
+    ) -> Tuple[int, int]:
+        result = self.backend.match_links(self, event.as_tuple(), yes_bits, maybe_bits)
+        self._obs_kernel_calls.inc()
+        self._obs_kernel_events.inc()
         return result
 
     def match_links_batch(
@@ -788,7 +731,7 @@ class CompiledProgram:
         pending: Dict[Tuple, List[int]] = {}
         representatives: List[Tuple[Tuple, Event]] = []
         for i, event in enumerate(events):
-            if event.schema != self.schema:
+            if self._schema_mismatch(event):
                 raise RoutingError("event schema does not match the annotated tree")
             key = (self.projection_key(event), yes_bits, maybe_bits)
             if cache is not None:
@@ -802,98 +745,36 @@ class CompiledProgram:
                 representatives.append((key, event))
             else:
                 group.append(i)
-        for key, event in representatives:
-            result = self._link_kernel(event, yes_bits, maybe_bits)
-            if cache is not None:
-                cache.put(key, result)
-            for i in pending[key]:
-                results[i] = result
+        if representatives:
+            kernel_out = self.backend.match_links_batch(
+                self,
+                [event.as_tuple() for _key, event in representatives],
+                yes_bits,
+                maybe_bits,
+            )
+            self._obs_kernel_calls.inc()
+            self._obs_kernel_events.inc(len(representatives))
+            for (key, _event), result in zip(representatives, kernel_out):
+                if cache is not None:
+                    cache.put(key, result)
+                for i in pending[key]:
+                    results[i] = result
         return results  # type: ignore[return-value]
-
-    def _link_kernel(
-        self, event: Event, yes_bits: int, maybe_bits: int
-    ) -> Tuple[int, int]:
-        values = event.as_tuple()
-        value_ids = self.value_ids
-        interned = [value_ids.get(value) for value in values]
-        records = self._records
-        ann_yes = self.ann_yes
-        ann_maybe = self.ann_maybe
-        steps = 0
-        # Each frame: [children, next_child_position, yes_bits, maybe_bits].
-        frames: List[list] = []
-        current = 0
-        cur_yes = yes_bits
-        cur_maybe = maybe_bits
-        returned_yes = 0
-        entering = True
-        while True:
-            if entering:
-                steps += 1
-                # Step 2: refine Maybes with the node's annotation.
-                cur_yes |= cur_maybe & ann_yes[current]
-                cur_maybe &= ann_maybe[current]
-                if not cur_maybe:
-                    returned_yes = cur_yes
-                    entering = False
-                    continue
-                position, table, ranges, star_child, _subs = records[current]
-                if position < 0:
-                    # Leaf annotations are Yes/No only, so refinement above
-                    # has already removed every Maybe; this is unreachable
-                    # unless an annotation is stale.
-                    raise RoutingError(
-                        "leaf annotation left Maybe trits — stale annotation?"
-                    )
-                children: List[int] = []
-                if table is not None:
-                    child = table.get(interned[position])
-                    if child is not None:
-                        children.append(child)
-                if ranges is not None:
-                    value = values[position]
-                    for test, range_child in ranges:
-                        if test.evaluate(value):
-                            children.append(range_child)
-                if star_child >= 0:
-                    children.append(star_child)
-                if not children:
-                    # No applicable branch: remaining Maybes become No.
-                    returned_yes = cur_yes
-                    entering = False
-                    continue
-                frames.append([children, 0, cur_yes, cur_maybe])
-                current = children[0]
-                continue
-            # Returning `returned_yes` from a completed subsearch.
-            if not frames:
-                return returned_yes, steps
-            frame = frames[-1]
-            # Step 3: convert to Yes every Maybe whose returned trit is Yes.
-            frame_maybe = frame[3]
-            frame_yes = frame[2] | (frame_maybe & returned_yes)
-            frame_maybe &= ~returned_yes
-            if not frame_maybe:
-                frames.pop()
-                returned_yes = frame_yes
-                continue
-            next_child = frame[1] + 1
-            children = frame[0]
-            if next_child == len(children):
-                # All children searched: remaining Maybes become No.
-                frames.pop()
-                returned_yes = frame_yes
-                continue
-            frame[1] = next_child
-            frame[2] = frame_yes
-            frame[3] = frame_maybe
-            current = children[next_child]
-            cur_yes = frame_yes
-            cur_maybe = frame_maybe
-            entering = True
 
     # ------------------------------------------------------------------
     # Incremental recompilation
+
+    def _bump_generation(self) -> None:
+        """Advance the record-array generation and drop backend scratch.
+
+        Called after any mutation of the arrays backends execute over
+        (:meth:`patch`, :meth:`annotate`): the vector backend rebuilds its
+        columnar index lazily, the procpool publisher republishes the
+        program into shared memory under the new generation tag.
+        """
+        self.generation += 1
+        if self.backend_state:
+            self.backend_state.clear()
 
     def patch(self, tree: ParallelSearchTree, predicate: Predicate) -> bool:
         """Re-lower the root-to-leaf path selected by ``predicate`` after one
@@ -942,6 +823,7 @@ class CompiledProgram:
         if self.link_cache is not None:
             flushed += self.link_cache.flush()
         self._waste += flushed >> _CACHE_RESIDENCY_WASTE_SHIFT
+        self._bump_generation()
         return True
 
     def _charge_subtree(self, index: int) -> None:
@@ -1048,10 +930,15 @@ def compile_tree(
     tree: ParallelSearchTree,
     *,
     cache_capacity: int = DEFAULT_MATCH_CACHE_CAPACITY,
+    backend: Union[str, KernelBackend, None] = None,
 ) -> CompiledProgram:
     """Lower ``tree`` into a fresh :class:`CompiledProgram`.
 
     ``cache_capacity`` bounds each of the program's two projection caches
-    (match and link); pass ``0`` to disable caching entirely.
+    (match and link); pass ``0`` to disable caching entirely.  ``backend``
+    selects the kernel execution backend (a
+    :data:`~repro.matching.backends.KERNEL_BACKEND_NAMES` name or a
+    :class:`~repro.matching.backends.KernelBackend` instance); ``None``
+    means :data:`~repro.matching.backends.DEFAULT_BACKEND`.
     """
-    return CompiledProgram(tree, cache_capacity=cache_capacity)
+    return CompiledProgram(tree, cache_capacity=cache_capacity, backend=backend)

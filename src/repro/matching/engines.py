@@ -20,12 +20,18 @@ pick by name through :func:`create_engine`; the project default is
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence, Union
 
 from repro.errors import RoutingError, SubscriptionError
 from repro.core.annotation import LinkOfSubscriber, TreeAnnotation
 from repro.core.link_matcher import LinkMatcher, LinkMatchResult
 from repro.core.trits import TritVector, pack_tritvector, unpack_tritvector
+from repro.matching.backends import (
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    KernelBackend,
+    create_backend,
+)
 from repro.matching.base import MatcherEngine
 from repro.obs import get_registry
 from repro.matching.compile import (
@@ -196,11 +202,20 @@ class CompiledEngine(_EngineBase):
         attribute_order: Optional[Sequence[str]] = None,
         domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
         match_cache_capacity: int = DEFAULT_MATCH_CACHE_CAPACITY,
+        backend: Union[str, KernelBackend, None] = None,
     ) -> None:
         super().__init__(schema, attribute_order=attribute_order, domains=domains)
         self._program: Optional[CompiledProgram] = None
         self._annotation_dirty = False
         self._match_cache_capacity = match_cache_capacity
+        # Resolved once: recompiles after patch bail-outs must not silently
+        # change execution backends, and an invalid name fails construction
+        # instead of the first match.
+        if backend is None:
+            backend = DEFAULT_BACKEND
+        self._backend: KernelBackend = (
+            create_backend(backend) if isinstance(backend, str) else backend
+        )
         registry = get_registry()
         self._obs_compiles = registry.counter("engine.compiled.recompiles")
         self._obs_patches = registry.counter("engine.compiled.patches")
@@ -228,10 +243,17 @@ class CompiledEngine(_EngineBase):
         """The current compiled form (compiling first if needed)."""
         return self._ensure_program()
 
+    @property
+    def backend_name(self) -> str:
+        """Name of the kernel backend the program executes with."""
+        return self._backend.name
+
     def _ensure_program(self) -> CompiledProgram:
         if self._program is None:
             self._program = compile_tree(
-                self.tree, cache_capacity=self._match_cache_capacity
+                self.tree,
+                cache_capacity=self._match_cache_capacity,
+                backend=self._backend,
             )
             self._annotation_dirty = self._num_links is not None
             self._obs_compiles.inc()
@@ -346,6 +368,7 @@ def create_engine(
     shards: Optional[int] = None,
     shard_policy: Optional[str] = None,
     shard_workers: int = 0,
+    backend: Optional[str] = None,
 ) -> MatcherEngine:
     """Instantiate an engine by name (``"compiled"``, ``"sharded"``, ``"tree"``).
 
@@ -355,8 +378,20 @@ def create_engine(
     engine (defaults: :data:`~repro.matching.sharding.DEFAULT_SHARDS` shards,
     :data:`~repro.matching.sharding.DEFAULT_SHARD_POLICY` policy, serial
     execution); the other engines ignore them.
+
+    ``backend`` selects how the compiled record arrays are executed (one of
+    :data:`~repro.matching.backends.BACKEND_NAMES`; ``None`` means
+    :data:`~repro.matching.backends.DEFAULT_BACKEND`).  ``"procpool"`` is a
+    sharded-engine execution mode — asking for it with ``engine="compiled"``
+    is an error, and the tree engine (which has no compiled arrays) accepts
+    only the default.
     """
+    if backend is not None and backend not in BACKEND_NAMES:
+        raise SubscriptionError(
+            f"unknown kernel backend {backend!r} — expected one of {BACKEND_NAMES}"
+        )
     if engine == "compiled":
+        # create_backend rejects "procpool" with a pointer at engine="sharded".
         return CompiledEngine(
             schema,
             attribute_order=attribute_order,
@@ -366,6 +401,7 @@ def create_engine(
                 if match_cache_capacity is None
                 else match_cache_capacity
             ),
+            backend=backend,
         )
     if engine == "sharded":
         # Imported here: sharding builds on CompiledEngine, so importing it
@@ -388,8 +424,15 @@ def create_engine(
                 if match_cache_capacity is None
                 else match_cache_capacity
             ),
+            backend=DEFAULT_BACKEND if backend is None else backend,
         )
     if engine == "tree":
+        if backend is not None and backend != DEFAULT_BACKEND:
+            raise SubscriptionError(
+                f"engine 'tree' walks the object graph directly and has no "
+                f"kernel backends — backend {backend!r} requires engine="
+                f"'compiled' or 'sharded'"
+            )
         return TreeEngine(schema, attribute_order=attribute_order, domains=domains)
     raise SubscriptionError(
         f"unknown matcher engine {engine!r} — expected one of {ENGINE_NAMES}"

@@ -112,6 +112,7 @@ class FactoredMatcher(Matcher):
         *,
         residual_order: Optional[Sequence[str]] = None,
         engine: str = "tree",
+        backend: Optional[str] = None,
     ) -> None:
         if not index_attributes:
             raise SubscriptionError("factoring needs at least one index attribute")
@@ -120,6 +121,8 @@ class FactoredMatcher(Matcher):
                 f"unknown matcher engine {engine!r} — expected 'tree' or 'compiled'"
             )
         self.engine = engine
+        # Kernel backend for the compiled sub-programs (tree mode has none).
+        self.backend = backend
         self.schema = schema
         self.index_attributes: Tuple[str, ...] = tuple(index_attributes)
         self.domains: Dict[str, FrozenSet[AttributeValue]] = {
@@ -303,7 +306,7 @@ class FactoredMatcher(Matcher):
         if self.engine == "compiled":
             program = self._programs.get(key)
             if program is None:
-                program = self._programs[key] = compile_tree(tree)
+                program = self._programs[key] = compile_tree(tree, backend=self.backend)
                 self._obs_compiles.inc()
             result = program.match(event)
         else:

@@ -131,7 +131,7 @@ class EventSchema:
                               ("volume", "integer")])
     """
 
-    __slots__ = ("_attributes", "_index")
+    __slots__ = ("_attributes", "_index", "_names")
 
     def __init__(self, attributes: Iterable[Union[Attribute, Tuple[str, Union[AttributeType, str]]]]) -> None:
         attrs: List[Attribute] = []
@@ -155,6 +155,7 @@ class EventSchema:
             index[attribute.name] = position
         self._attributes: Tuple[Attribute, ...] = tuple(attrs)
         self._index = index
+        self._names: Tuple[str, ...] = tuple(a.name for a in self._attributes)
 
     @property
     def attributes(self) -> Tuple[Attribute, ...]:
@@ -164,7 +165,7 @@ class EventSchema:
     @property
     def names(self) -> Tuple[str, ...]:
         """Attribute names in declaration order."""
-        return tuple(a.name for a in self._attributes)
+        return self._names
 
     def __len__(self) -> int:
         return len(self._attributes)

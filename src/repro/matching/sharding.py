@@ -75,13 +75,14 @@ from __future__ import annotations
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import RoutingError, SubscriptionError
 from repro.core.annotation import LinkOfSubscriber
 from repro.core.link_matcher import LinkMatchResult
 from repro.core.trits import TritVector, pack_tritvector, unpack_tritvector
-from repro.matching.base import MatcherEngine
+from repro.matching.backends import DEFAULT_BACKEND, validate_backend
+from repro.matching.base import MatcherEngine, union_merge
 from repro.matching.compile import DEFAULT_MATCH_CACHE_CAPACITY, ProjectionCache
 from repro.matching.engines import BATCH_SIZE_BUCKETS, CompiledEngine
 from repro.matching.events import Event
@@ -89,6 +90,9 @@ from repro.matching.pst import MatchResult
 from repro.matching.predicates import EqualityTest, Subscription
 from repro.matching.schema import AttributeValue, EventSchema
 from repro.obs import get_registry
+
+if TYPE_CHECKING:  # imported lazily at runtime (only procpool mode needs it)
+    from repro.matching.backends.procpool import ProcPoolExecutor
 
 #: Valid partition policies, in documentation order.
 SHARD_POLICIES = ("round-robin", "hash", "balanced")
@@ -130,12 +134,14 @@ class _Shard(CompiledEngine):
         attribute_order: Optional[Sequence[str]] = None,
         domains: Optional[Mapping[str, Sequence[AttributeValue]]] = None,
         match_cache_capacity: int = DEFAULT_MATCH_CACHE_CAPACITY,
+        backend: Optional[str] = None,
     ) -> None:
         super().__init__(
             schema,
             attribute_order=attribute_order,
             domains=domains,
             match_cache_capacity=match_cache_capacity,
+            backend=backend,
         )
         self.index = index
         registry = get_registry()
@@ -164,8 +170,21 @@ class ShardedEngine(MatcherEngine):
     ``policy``
         One of :data:`SHARD_POLICIES`; see the module docstring.
     ``workers``
-        Thread-pool width for fanning shards out; ``0`` (the default) runs
-        shards serially, which is what wins under the GIL.
+        Fan-out width.  With the default (thread) execution, ``0`` runs
+        shards serially — which is what wins under the GIL — and ``> 0``
+        uses that many pool threads.  With ``backend="procpool"`` it is the
+        number of worker *processes* (``0`` means one per shard).
+    ``backend``
+        How shard kernels execute (one of
+        :data:`~repro.matching.backends.BACKEND_NAMES`).  ``interp`` /
+        ``vector`` select the in-process kernel each shard compiles with.
+        ``procpool`` switches batched matching to shared-memory worker
+        processes (see :mod:`repro.matching.backends.procpool`): shard
+        programs are published once per ``(program_uid, generation)`` and
+        the batch paths ship only value tuples; single-event calls and
+        cache hits stay parent-side on the default kernel.  Results are
+        identical across all three, pinned by
+        ``tests/property/test_prop_backends.py``.
     ``rebalance_threshold`` / ``rebalance_interval``
         :meth:`rebalance` migrates when node-count skew (``max/mean``)
         exceeds the threshold.  With ``rebalance_interval > 0`` a pass runs
@@ -193,6 +212,7 @@ class ShardedEngine(MatcherEngine):
         rebalance_threshold: float = DEFAULT_REBALANCE_THRESHOLD,
         rebalance_interval: int = 0,
         early_exit: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         if num_shards < 1:
             raise SubscriptionError("num_shards must be >= 1")
@@ -202,9 +222,24 @@ class ShardedEngine(MatcherEngine):
             )
         if workers < 0:
             raise SubscriptionError("workers must be >= 0")
+        if backend is None:
+            backend = DEFAULT_BACKEND
+        validate_backend(backend)
         self.schema = schema
         self.policy = policy
         self.workers = workers
+        self.backend_name = backend
+        self._procpool: Optional["ProcPoolExecutor"] = None
+        shard_backend = backend
+        if backend == "procpool":
+            # Batched matching runs in worker processes over published
+            # program images; the parent-side shard programs (singles,
+            # cache-served events, publication source) use the default
+            # in-process kernel.
+            from repro.matching.backends.procpool import ProcPoolExecutor
+
+            shard_backend = DEFAULT_BACKEND
+            self._procpool = ProcPoolExecutor(workers if workers > 0 else num_shards)
         self._shards: List[_Shard] = [
             _Shard(
                 index,
@@ -212,6 +247,7 @@ class ShardedEngine(MatcherEngine):
                 attribute_order=attribute_order,
                 domains=domains,
                 match_cache_capacity=match_cache_capacity,
+                backend=shard_backend,
             )
             for index in range(num_shards)
         ]
@@ -231,7 +267,7 @@ class ShardedEngine(MatcherEngine):
         self._node_estimates: List[int] = [1] * num_shards
         self._executor: Optional[ThreadPoolExecutor] = (
             ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-shard")
-            if workers > 0
+            if workers > 0 and self._procpool is None
             else None
         )
         # Shard-local event caches: full-value-tuple -> that shard's result.
@@ -523,9 +559,33 @@ class ShardedEngine(MatcherEngine):
     # Matching (union merge)
 
     def _fan_out(self, task: Callable[[_Shard], object]) -> List[object]:
-        if self._executor is not None:
-            return list(self._executor.map(task, self._shards))
-        return [task(shard) for shard in self._shards]
+        """Run ``task`` once per shard (threaded when ``workers > 0``).
+
+        A shard task that raises fails the whole call with the *original*
+        exception — never a half-merged result — annotated with which shard
+        raised it (worker-thread tracebacks otherwise point only at the
+        pool plumbing).  Remaining tasks are cancelled where possible; any
+        already running finish in the pool but their results are dropped.
+        """
+        if self._executor is None:
+            return [task(shard) for shard in self._shards]
+        futures = [self._executor.submit(task, shard) for shard in self._shards]
+        results: List[object] = []
+        error: Optional[BaseException] = None
+        failed_index = -1
+        for shard, future in zip(self._shards, futures):
+            if error is not None:
+                future.cancel()
+                continue
+            try:
+                results.append(future.result())
+            except BaseException as exc:
+                error = exc
+                failed_index = shard.index
+        if error is not None:
+            error.add_note(f"raised in the worker task for shard {failed_index}")
+            raise error
+        return results
 
     def _shard_match(self, shard: _Shard, event: Event, key) -> MatchResult:
         """One shard's answer via its shard-local event cache."""
@@ -558,42 +618,94 @@ class ShardedEngine(MatcherEngine):
         key = event.as_tuple()
         results = self._fan_out(lambda shard: self._shard_match(shard, event, key))
         started = perf_counter() if self._time_merges else 0.0
-        matched: List[Subscription] = []
-        steps = 0
-        for result in results:
-            matched.extend(result.subscriptions)
-            steps += result.steps
+        merged = union_merge(results)
         if self._time_merges:
             self._obs_merge_time.observe(perf_counter() - started)
         self._obs_matches.inc()
-        self._obs_match_steps.inc(steps)
-        return MatchResult(matched, steps)
+        self._obs_match_steps.inc(merged.steps)
+        return merged
 
     def match_batch(self, events: Sequence[Event]) -> List[MatchResult]:
         if not events:
             return []
         self._obs_batch_size.observe(len(events))
         keys = [event.as_tuple() for event in events]
-        per_shard = self._fan_out(
-            lambda shard: self._shard_match_batch(shard, events, keys)
-        )
+        if self._procpool is not None:
+            per_shard = self._procpool_match_batch(events, keys)
+        else:
+            per_shard = self._fan_out(
+                lambda shard: self._shard_match_batch(shard, events, keys)
+            )
         started = perf_counter() if self._time_merges else 0.0
-        merged: List[MatchResult] = []
-        total_steps = 0
-        for i in range(len(events)):
-            matched: List[Subscription] = []
-            steps = 0
-            for results in per_shard:
-                result = results[i]
-                matched.extend(result.subscriptions)
-                steps += result.steps
-            total_steps += steps
-            merged.append(MatchResult(matched, steps))
+        merged = [
+            union_merge(results[i] for results in per_shard)
+            for i in range(len(events))
+        ]
+        total_steps = sum(result.steps for result in merged)
         if self._time_merges:
             self._obs_merge_time.observe(perf_counter() - started)
         self._obs_matches.inc(len(events))
         self._obs_match_steps.inc(total_steps)
         return merged
+
+    def _procpool_match_batch(
+        self, events: Sequence[Event], keys: Sequence[tuple]
+    ) -> List[List[MatchResult]]:
+        """Per-shard per-event answers via the process pool.
+
+        Cache probing stays parent-side (shard-local event caches keep
+        their surgical-repair semantics); only the misses travel — as
+        deduplicated value tuples out, ``(subscription_ids, steps)`` back.
+        """
+        assert self._procpool is not None
+        n = len(events)
+        per_shard: List[List[Optional[MatchResult]]] = []
+        ops: List[tuple] = []
+        slots: List[Tuple[int, List[List[int]], Dict[int, Subscription]]] = []
+        for shard in self._shards:
+            if self._event_caches is not None:
+                cache = self._event_caches[shard.index]
+                results: List[Optional[MatchResult]] = [cache.get(key) for key in keys]
+            else:
+                results = [None] * n
+            per_shard.append(results)
+            missing = [i for i, result in enumerate(results) if result is None]
+            if not missing:
+                continue
+            publication = self._procpool.publish(shard.index, shard.program)
+            unique: Dict[tuple, int] = {}
+            payload: List[tuple] = []
+            members: List[List[int]] = []
+            for i in missing:
+                slot = unique.get(keys[i])
+                if slot is None:
+                    unique[keys[i]] = len(payload)
+                    payload.append(keys[i])
+                    members.append([i])
+                else:
+                    members[slot].append(i)
+            ops.append(
+                (shard.index, publication.name, publication.size, "match_batch", payload)
+            )
+            slots.append((shard.index, members, publication.sub_by_id))
+        if ops:
+            answers = self._procpool.run(ops)
+            for (shard_index, members, sub_by_id), entries in zip(slots, answers):
+                results = per_shard[shard_index]
+                cache = (
+                    self._event_caches[shard_index]
+                    if self._event_caches is not None
+                    else None
+                )
+                for group, (sub_ids, steps) in zip(members, entries):
+                    result = MatchResult(
+                        [sub_by_id[sub_id] for sub_id in sub_ids], steps
+                    )
+                    for i in group:
+                        results[i] = result
+                        if cache is not None:
+                            cache.put(keys[i], result)
+        return per_shard  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Link matching (Parallel-Combine merge)
@@ -645,11 +757,10 @@ class ShardedEngine(MatcherEngine):
         merged_yes = yes_bits
         steps = 0
         if self._executor is not None:
-            packed = self._executor.map(
+            packed = self._fan_out(
                 lambda shard: self._shard_match_links(
                     shard, event, key, yes_bits, maybe_bits
-                ),
-                self._shards,
+                )
             )
             for final_yes, shard_steps in packed:
                 merged_yes |= final_yes
@@ -701,11 +812,16 @@ class ShardedEngine(MatcherEngine):
                     cache.put((keys[indexes[j]], yes_bits, maybe_bits), entry)
             return packed  # type: ignore[return-value]
 
-        if self._executor is not None:
-            everything = list(range(len(events)))
-            per_shard = self._executor.map(
-                lambda shard: shard_batch(shard, everything), self._shards
-            )
+        if self._procpool is not None or self._executor is not None:
+            # Parallel semantics: every shard refines every event (no early
+            # exit), exactly like match_links() with a thread pool.
+            if self._procpool is not None:
+                per_shard = self._procpool_links_batch(keys, yes_bits, maybe_bits)
+            else:
+                everything = list(range(len(events)))
+                per_shard = self._fan_out(
+                    lambda shard: shard_batch(shard, everything)
+                )
             for packed in per_shard:
                 for i, (final_yes, shard_steps) in enumerate(packed):
                     merged[i] |= final_yes
@@ -731,14 +847,86 @@ class ShardedEngine(MatcherEngine):
             for final_yes, event_steps in zip(merged, steps)
         ]
 
+    def _procpool_links_batch(
+        self, keys: Sequence[tuple], yes_bits: int, maybe_bits: int
+    ) -> List[List["Tuple[int, int]"]]:
+        """Per-shard packed link answers via the process pool.
+
+        Mirrors :meth:`_procpool_match_batch`: parent-side cache probes,
+        deduplicated value tuples out, ``(final_yes, steps)`` back.  The
+        shard program is annotated (parent-side) before publication, so the
+        published image carries current ``ann_yes``/``ann_maybe`` arrays —
+        re-annotation bumps the generation and republishes.
+        """
+        assert self._procpool is not None and self._num_links is not None
+        n = len(keys)
+        per_shard: List[List[Optional[Tuple[int, int]]]] = []
+        ops: List[tuple] = []
+        slots: List[Tuple[int, List[List[int]]]] = []
+        for shard in self._shards:
+            if self._link_caches is not None:
+                cache = self._link_caches[shard.index]
+                packed: List[Optional[Tuple[int, int]]] = [
+                    cache.get((key, yes_bits, maybe_bits)) for key in keys
+                ]
+            else:
+                packed = [None] * n
+            per_shard.append(packed)
+            missing = [i for i, entry in enumerate(packed) if entry is None]
+            if not missing:
+                continue
+            program = shard._annotated_program(self._num_links)
+            publication = self._procpool.publish(shard.index, program)
+            unique: Dict[tuple, int] = {}
+            payload: List[tuple] = []
+            members: List[List[int]] = []
+            for i in missing:
+                slot = unique.get(keys[i])
+                if slot is None:
+                    unique[keys[i]] = len(payload)
+                    payload.append(keys[i])
+                    members.append([i])
+                else:
+                    members[slot].append(i)
+            ops.append(
+                (
+                    shard.index,
+                    publication.name,
+                    publication.size,
+                    "links_batch",
+                    (payload, yes_bits, maybe_bits),
+                )
+            )
+            slots.append((shard.index, members))
+        if ops:
+            answers = self._procpool.run(ops)
+            for (shard_index, members), entries in zip(slots, answers):
+                packed = per_shard[shard_index]
+                cache = (
+                    self._link_caches[shard_index]
+                    if self._link_caches is not None
+                    else None
+                )
+                for group, entry in zip(members, entries):
+                    for i in group:
+                        packed[i] = entry
+                        if cache is not None:
+                            cache.put((keys[i], yes_bits, maybe_bits), entry)
+        return per_shard  # type: ignore[return-value]
+
     # ------------------------------------------------------------------
     # Lifecycle
 
     def close(self) -> None:
-        """Shut down the worker pool (no-op when ``workers=0``)."""
+        """Shut down worker pools and shared memory (no-op when serial)."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._procpool is not None:
+            # Like the thread pool: a closed engine keeps answering, it just
+            # falls back to serial parent-side execution.
+            self._procpool.close()
+            self._procpool = None
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -750,5 +938,6 @@ class ShardedEngine(MatcherEngine):
         sizes = ",".join(str(len(shard.tree)) for shard in self._shards)
         return (
             f"ShardedEngine({len(self._shards)} shards [{sizes}], "
-            f"policy={self.policy!r}, workers={self.workers})"
+            f"policy={self.policy!r}, workers={self.workers}, "
+            f"backend={self.backend_name!r})"
         )

@@ -156,6 +156,7 @@ class ProtocolContext:
         shards: Optional[int] = None,
         shard_policy: Optional[str] = None,
         shard_workers: int = 0,
+        backend: Optional[str] = None,
     ) -> None:
         topology.validate()
         self.topology = topology
@@ -168,6 +169,7 @@ class ProtocolContext:
         self.shards = shards
         self.shard_policy = shard_policy
         self.shard_workers = shard_workers
+        self.backend = backend
         self.routing_tables: Dict[str, RoutingTable] = all_routing_tables(topology)
         self.spanning_trees: Dict[str, SpanningTree] = spanning_trees_for_publishers(topology)
 

@@ -56,6 +56,7 @@ class FloodingProtocol(RoutingProtocol):
                 shards=context.shards,
                 shard_policy=context.shard_policy,
                 shard_workers=context.shard_workers,
+                backend=context.backend,
             )
             self._local_trees[broker] = tree
         self._subscriber_names = frozenset(topology.subscribers())

@@ -41,6 +41,7 @@ class LinkMatchingProtocol(RoutingProtocol):
                 shards=context.shards,
                 shard_policy=context.shard_policy,
                 shard_workers=context.shard_workers,
+                backend=context.backend,
             )
             for subscription in context.subscriptions:
                 router.add_subscription(subscription)

@@ -1,0 +1,194 @@
+"""Unit tests for the kernel-backend axis and its failure modes.
+
+Covers the registry surface (:mod:`repro.matching.backends`), how
+``backend=`` threads through :func:`create_engine`, generation-keyed
+backend scratch on :class:`CompiledProgram`, the sharded engine's
+worker-exception propagation (threads and processes), and procpool
+worker-death reporting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SubscriptionError
+from repro.matching import Event, Predicate, Subscription, uniform_schema
+from repro.matching.backends import (
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    KERNEL_BACKEND_NAMES,
+    create_backend,
+    validate_backend,
+)
+from repro.matching.backends.procpool import ProcPoolError, ProcPoolExecutor
+from repro.matching.backends.vector import VectorBackend
+from repro.matching.engines import CompiledEngine, create_engine
+from repro.matching.predicates import EqualityTest
+from repro.matching.sharding import ShardedEngine
+
+SCHEMA = uniform_schema(3)
+DOMAINS = {name: [0, 1, 2] for name in SCHEMA.names}
+
+
+def sub(value, subscriber="s0"):
+    tests = {SCHEMA.names[0]: EqualityTest(value)}
+    return Subscription(Predicate(SCHEMA, tests), subscriber)
+
+
+def event(values=(0, 0, 0)):
+    return Event.from_tuple(SCHEMA, values)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert BACKEND_NAMES == ("interp", "vector", "procpool")
+        assert KERNEL_BACKEND_NAMES == ("interp", "vector")
+        assert DEFAULT_BACKEND in KERNEL_BACKEND_NAMES
+
+    def test_validate(self):
+        assert validate_backend("vector") == "vector"
+        with pytest.raises(SubscriptionError, match="unknown kernel backend"):
+            validate_backend("jit")
+
+    def test_singletons(self):
+        for name in KERNEL_BACKEND_NAMES:
+            backend = create_backend(name)
+            assert backend.name == name
+            assert create_backend(name) is backend
+
+    def test_procpool_is_not_an_in_process_kernel(self):
+        with pytest.raises(SubscriptionError, match="sharded"):
+            create_backend("procpool")
+
+
+class TestEngineWiring:
+    def test_compiled_backend_name(self):
+        assert CompiledEngine(SCHEMA).backend_name == DEFAULT_BACKEND
+        engine = CompiledEngine(SCHEMA, backend="vector")
+        assert engine.backend_name == "vector"
+        # A backend *instance* is accepted as-is (used by the property
+        # suite to pin the forced zero-dependency vector path).
+        forced = CompiledEngine(SCHEMA, backend=VectorBackend(force_fallback=True))
+        assert forced.backend_name == "vector"
+
+    def test_create_engine_validates_backend(self):
+        with pytest.raises(SubscriptionError, match="unknown kernel backend"):
+            create_engine("compiled", SCHEMA, backend="jit")
+
+    def test_create_engine_compiled_rejects_procpool(self):
+        with pytest.raises(SubscriptionError, match="sharded"):
+            create_engine("compiled", SCHEMA, backend="procpool")
+
+    def test_create_engine_tree_rejects_non_default_backend(self):
+        with pytest.raises(SubscriptionError, match="tree"):
+            create_engine("tree", SCHEMA, backend="vector")
+        # The default backend is the tree engine's own semantics.
+        create_engine("tree", SCHEMA, backend=DEFAULT_BACKEND)
+
+    def test_sharded_backend_name(self):
+        engine = ShardedEngine(SCHEMA, num_shards=2, backend="vector")
+        assert engine.backend_name == "vector"
+        assert "backend='vector'" in repr(engine)
+        default = ShardedEngine(SCHEMA, num_shards=2)
+        assert default.backend_name == DEFAULT_BACKEND
+
+
+class TestGenerationScratch:
+    def test_patch_bumps_generation_and_drops_backend_state(self):
+        engine = CompiledEngine(SCHEMA, domains=DOMAINS, backend="vector")
+        engine.insert(sub(0))
+        program = engine.program
+        # Two distinct events: single-event batches take the single-match
+        # path and never touch the batched kernel's columnar index.
+        engine.match_batch([event((0, 0, 0)), event((1, 1, 1))])
+        assert program.backend_state  # columnar index built lazily
+        generation = program.generation
+        engine.insert(sub(1))
+        assert program.generation > generation
+        assert not program.backend_state
+
+    def test_annotate_bumps_generation(self):
+        engine = CompiledEngine(SCHEMA, domains=DOMAINS, backend="vector")
+        engine.insert(sub(0))
+        program = engine.program
+        engine.match_batch([event((0, 0, 0)), event((1, 1, 1))])
+        assert program.backend_state
+        generation = program.generation
+        # Annotation rewrites the leaf mask arrays in place — stale
+        # backend scratch must go with it.
+        program.annotate(2, lambda subscription: 0)
+        assert program.generation > generation
+        assert not program.backend_state
+
+
+class TestShardWorkerFailures:
+    def test_thread_worker_exception_propagates_with_shard_context(self):
+        """A raising shard task surfaces its original exception type,
+        annotated with the shard index (regression: workers>0 used to
+        swallow the context behind pool plumbing)."""
+        engine = ShardedEngine(SCHEMA, num_shards=2, workers=2)
+        engine.insert(sub(0))
+        foreign = Event.from_tuple(uniform_schema(5), (0, 0, 0, 0, 0))
+        with pytest.raises(SubscriptionError) as excinfo:
+            engine.match(foreign)
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("worker task for shard" in note for note in notes)
+
+    def test_serial_path_raises_unannotated(self):
+        engine = ShardedEngine(SCHEMA, num_shards=2, workers=0)
+        foreign = Event.from_tuple(uniform_schema(5), (0, 0, 0, 0, 0))
+        with pytest.raises(SubscriptionError):
+            engine.match(foreign)
+
+
+class TestProcPoolFailures:
+    def test_worker_execution_error_reports_traceback(self):
+        engine = ShardedEngine(
+            SCHEMA, num_shards=1, match_cache_capacity=0, backend="procpool"
+        )
+        try:
+            engine.insert(sub(0))
+            # Warm the pool and the publication, then hand the executor a
+            # bogus op directly: the worker must answer ("err", traceback)
+            # and the parent must surface it as ProcPoolError.
+            engine.match_batch([event()])
+            executor = engine._procpool
+            publication = executor.publish(0, engine._shards[0].program)
+            with pytest.raises(ProcPoolError, match="raised while matching"):
+                executor.run(
+                    [(0, publication.name, publication.size, "bogus", ())]
+                )
+            # The worker keeps serving after reporting the error.
+            assert engine.match_batch([event()])[0].subscriptions
+        finally:
+            engine.close()
+
+    def test_worker_death_raises_procpool_error(self):
+        engine = ShardedEngine(
+            SCHEMA, num_shards=1, match_cache_capacity=0, backend="procpool"
+        )
+        try:
+            engine.insert(sub(0))
+            engine.match_batch([event()])
+            [(process, _conn)] = engine._procpool._workers
+            process.kill()
+            process.join(timeout=10)
+            with pytest.raises(ProcPoolError, match="died"):
+                engine.match_batch([event((1, 1, 1))])
+        finally:
+            engine.close()
+
+    def test_closed_engine_falls_back_to_serial(self):
+        engine = ShardedEngine(
+            SCHEMA, num_shards=2, match_cache_capacity=0, backend="procpool"
+        )
+        engine.insert(sub(0))
+        before = engine.match_batch([event()])
+        engine.close()
+        after = engine.match_batch([event()])
+        assert [r.subscriptions for r in after] == [r.subscriptions for r in before]
+
+    def test_executor_close_is_idempotent(self):
+        executor = ProcPoolExecutor(1)
+        executor.close()
+        executor.close()
