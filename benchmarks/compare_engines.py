@@ -124,7 +124,9 @@ def run(counts, num_events, repeats, seed, *, cache=True, churn=0, backend=None)
     event_generator = EventGenerator(spec, seed=seed + 1)
     events = [event_generator.event_for() for _ in range(num_events)]
 
-    header = f"{'subscriptions':>13} {'avg_steps':>9} {'tree_us':>9} {'compiled_us':>11} {'speedup':>8}"
+    header = (
+        f"{'subscriptions':>13} {'avg_steps':>9} {'tree_us':>9} {'compiled_us':>11} {'speedup':>8}"
+    )
     lines = [header, "-" * len(header)]
     if churn:
         lines.insert(0, f"churn: 1 replacement per {churn} events (timed in-stream)")

@@ -228,7 +228,9 @@ class BrokerClient:
         else:
             raise ProtocolError(f"client cannot handle {type(message).__name__}")
 
-    def _resolve(self, request_id: int, *, result: Optional[int] = None, error: Optional[str] = None) -> None:
+    def _resolve(
+        self, request_id: int, *, result: Optional[int] = None, error: Optional[str] = None
+    ) -> None:
         with self._lock:
             pending = self._pending.get(request_id)
         if pending is None:

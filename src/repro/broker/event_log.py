@@ -16,7 +16,7 @@ reconnect.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Tuple
+from typing import Any, List, Tuple
 
 from repro.errors import ProtocolError
 
@@ -26,11 +26,11 @@ class EventLog:
 
     def __init__(self, client_name: str) -> None:
         self.client_name = client_name
-        self._entries: "OrderedDict[int, bytes]" = OrderedDict()
+        self._entries: "OrderedDict[int, Any]" = OrderedDict()
         self._next_seq = 1
         self._acked = 0
 
-    def append(self, event_data: bytes) -> int:
+    def append(self, event_data: Any) -> int:
         """Log an outgoing event; returns its sequence number."""
         seq = self._next_seq
         self._next_seq += 1
@@ -57,7 +57,7 @@ class EventLog:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def entries_after(self, seq: int) -> List[Tuple[int, bytes]]:
+    def entries_after(self, seq: int) -> List[Tuple[int, Any]]:
         """The redelivery backlog: all logged entries with sequence > ``seq``."""
         return [(s, data) for s, data in self._entries.items() if s > seq]
 

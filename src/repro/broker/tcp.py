@@ -191,7 +191,9 @@ class TcpConnection(Connection):
 
 
 class _TcpListener(Listener):
-    def __init__(self, sock: socket.socket, transport: "TcpTransport", on_accept: AcceptHandler) -> None:
+    def __init__(
+        self, sock: socket.socket, transport: "TcpTransport", on_accept: AcceptHandler
+    ) -> None:
         self._socket = sock
         self._transport = transport
         self._on_accept = on_accept

@@ -106,7 +106,9 @@ def _build_parser() -> argparse.ArgumentParser:
     chart1 = commands.add_parser("chart1", help="saturation points (flooding vs link matching)")
     chart1.add_argument("--subscriptions", type=int, nargs="+", default=None)
     chart1.add_argument("--probe-duration", type=float, default=None, metavar="SECONDS")
-    chart1.add_argument("--match-first", action="store_true", help="include the match-first baseline")
+    chart1.add_argument(
+        "--match-first", action="store_true", help="include the match-first baseline"
+    )
 
     chart2 = commands.add_parser("chart2", help="cumulative matching steps per hop count")
     chart2.add_argument("--subscriptions", type=int, nargs="+", default=None)
@@ -166,7 +168,11 @@ def _run_chart2(args: argparse.Namespace) -> None:
     config = Chart2Config(
         subscription_counts=tuple(args.subscriptions)
         if args.subscriptions
-        else ((2000, 4000, 6000, 8000, 10000) if args.paper_scale else Chart2Config().subscription_counts),
+        else (
+            (2000, 4000, 6000, 8000, 10000)
+            if args.paper_scale
+            else Chart2Config().subscription_counts
+        ),
         num_events=args.events or (1000 if args.paper_scale else 120),
         subscribers_per_broker=10 if args.paper_scale else 3,
         engine=args.engine,
@@ -192,7 +198,11 @@ def _run_chart3(args: argparse.Namespace) -> None:
     config = Chart3Config(
         subscription_counts=tuple(args.subscriptions)
         if args.subscriptions
-        else ((1000, 5000, 10000, 25000) if args.paper_scale else Chart3Config().subscription_counts),
+        else (
+            (1000, 5000, 10000, 25000)
+            if args.paper_scale
+            else Chart3Config().subscription_counts
+        ),
         num_events=args.events or (300 if args.paper_scale else 150),
         engine=args.engine,
         shards=args.shards,

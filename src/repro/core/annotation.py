@@ -40,7 +40,9 @@ from repro.core.trits import (
 )
 
 #: Maps a subscription to the broker-local (virtual) link position through
-#: which its subscriber is best reached.
+#: which its subscriber is best reached.  A negative position means the
+#: subscriber is currently unreachable (cut off by a failure): the
+#: subscription contributes no link, so no annotation bit lights for it.
 LinkOfSubscriber = Callable[[Subscription], int]
 
 
@@ -142,7 +144,9 @@ class TreeAnnotation:
         positions = set()
         for subscription in node.subscriptions:
             position = self._link_of_subscriber(subscription)
-            if not 0 <= position < self.num_links:
+            if position < 0:
+                continue  # subscriber unreachable — no link to light
+            if position >= self.num_links:
                 raise RoutingError(
                     f"link position {position} out of range for {subscription!r}"
                 )

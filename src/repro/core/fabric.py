@@ -211,7 +211,9 @@ class ContentRoutedNetwork:
     # ------------------------------------------------------------------
     # Publishing
 
-    def publish(self, publisher: str, event: Union[Event, Mapping[str, AttributeValue]]) -> DeliveryTrace:
+    def publish(
+        self, publisher: str, event: Union[Event, Mapping[str, AttributeValue]]
+    ) -> DeliveryTrace:
         """Route one event from ``publisher`` through the network.
 
         Returns the full :class:`DeliveryTrace`.  The walk follows each
@@ -319,7 +321,9 @@ class ContentRoutedNetwork:
                 frontier.append((neighbor, hop + 1, group))
         return traces
 
-    def centralized_match(self, publisher: str, event: Union[Event, Mapping[str, AttributeValue]]) -> MatchResult:
+    def centralized_match(
+        self, publisher: str, event: Union[Event, Mapping[str, AttributeValue]]
+    ) -> MatchResult:
         """The Section 2 alternative: one full match at the publishing broker
         (the "centralized" line of Chart 2 and the first stage of the
         match-first baseline)."""
@@ -328,7 +332,9 @@ class ContentRoutedNetwork:
         root = self.topology.broker_of(publisher)
         return self.routers[root].match_locally(event)
 
-    def would_deliver(self, publisher: str, event: Union[Event, Mapping[str, AttributeValue]]) -> bool:
+    def would_deliver(
+        self, publisher: str, event: Union[Event, Mapping[str, AttributeValue]]
+    ) -> bool:
         """Quenching (as in Elvin, the paper's related work): would this
         event reach any subscriber at all?
 

@@ -97,12 +97,17 @@ class VirtualLinkTable:
         for destination in self.topology.clients():
             if destination in local_clients:
                 neighbor = destination
-            else:
+            elif routing_table.reaches(destination):
                 neighbor = routing_table.next_hop(destination)
+            else:
+                # Cut off by a failure: the destination owns no virtual link
+                # until a repair after its recovery re-adds it.
+                continue
             signature = frozenset(
                 root
                 for root, tree in self.spanning_trees.items()
-                if tree.is_downstream(destination, self.broker)
+                if self.broker in tree.parent
+                and tree.is_downstream(destination, self.broker)
             )
             groups.setdefault((neighbor, signature), []).append(destination)
         for (neighbor, signature), destinations in sorted(
@@ -113,6 +118,56 @@ class VirtualLinkTable:
             self.virtual_links.append(virtual)
             for destination in destinations:
                 self._position_of[destination] = position
+
+    def layout(self) -> Tuple:
+        """A comparable snapshot of positions, signatures and masks — equal
+        layouts route identically, which is what repair's changed-detection
+        needs."""
+        return (
+            tuple(
+                (v.neighbor, tuple(sorted(v.downstream_roots)), v.destinations)
+                for v in self.virtual_links
+            ),
+            tuple(sorted((root, str(mask)) for root, mask in self._masks.items())),
+        )
+
+    def rebuild(
+        self,
+        routing_table: RoutingTable,
+        spanning_trees: Mapping[str, SpanningTree],
+    ) -> bool:
+        """Recompute virtual links and masks against repaired routing state.
+
+        Returns ``True`` when the layout actually changed — the caller must
+        then rebind/flush anything that cached positions or packed mask bits
+        (engine annotations, link caches).  Returns ``False`` for repairs
+        that did not touch this broker (e.g. a failed lateral link), so the
+        caller can keep its warm caches.
+        """
+        before = self.layout()
+        self.spanning_trees = dict(spanning_trees)
+        self._position_of = {}
+        self.virtual_links = []
+        self._build(routing_table)
+        self._masks = {
+            root: self._initialization_mask(root) for root in self.spanning_trees
+        }
+        return self.layout() != before
+
+    def restrict_mask(self, mask: TritVector, destinations: FrozenSet[str]) -> TritVector:
+        """Force to No every position carrying none of ``destinations``.
+
+        Replay uses this to re-route a recovered message toward only the
+        destinations the failed element was responsible for, so subtrees
+        that already received the event are not traversed again.
+        """
+        keep = [
+            bool(destinations.intersection(virtual.destinations))
+            for virtual in self.virtual_links
+        ]
+        return TritVector(
+            trit if keep[i] else N for i, trit in enumerate(mask)
+        )
 
     def _initialization_mask(self, root: str) -> TritVector:
         """Maybe on virtual links whose destinations are downstream of this

@@ -22,7 +22,7 @@ them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import RoutingError
 from repro.core.annotation import TreeAnnotation
@@ -188,7 +188,42 @@ class ContentRouter:
         return len(self.matcher.subscriptions)
 
     def _link_of_subscriber(self, subscription: Subscription) -> int:
-        return self.links.position_of(subscription.subscriber)
+        try:
+            return self.links.position_of(subscription.subscriber)
+        except RoutingError:
+            # Cut off by a failure: annotation layers treat a negative
+            # position as "contributes no link" until a repair re-adds it.
+            return -1
+
+    # ------------------------------------------------------------------
+    # Topology repair
+
+    def rebuild_links(
+        self,
+        routing_table: RoutingTable,
+        spanning_trees: Mapping[str, SpanningTree],
+    ) -> bool:
+        """Re-derive virtual links and masks after a topology repair.
+
+        Returns ``True`` when the layout changed.  In that case every cached
+        structure keyed on link positions or packed mask bits is invalid —
+        the engine's annotation *and* its link caches (CompiledEngine's
+        ``(projection, yes, maybe)``-keyed cache, ShardedEngine's per-shard
+        outer caches) — so the engine is rebound, which flushes them.  A
+        stale cache here is not a perf bug but a *correctness* bug: after a
+        repair the same packed mask bits can denote different virtual links,
+        so a cache hit would route to the pre-failure destinations.  When
+        the layout is unchanged (a failed lateral link, say) nothing is
+        rebound and warm caches survive — the surgical half of the repair.
+        """
+        changed = self.links.rebuild(routing_table, spanning_trees)
+        if not changed:
+            return False
+        if self._engine is not None:
+            self._engine.bind_links(self.links.num_links, self._link_of_subscriber)
+        if self._factored is not None:
+            self._dirty = True
+        return True
 
     def _refresh_annotations(self) -> None:
         """Rebuild link-matching state for every factored sub-tree — either
@@ -212,9 +247,20 @@ class ContentRouter:
     # ------------------------------------------------------------------
     # Routing
 
-    def route(self, event: Event, tree_root: str) -> RouteDecision:
+    def route(
+        self,
+        event: Event,
+        tree_root: str,
+        *,
+        restrict_to: Optional[FrozenSet[str]] = None,
+    ) -> RouteDecision:
         """Run link matching for an event traveling on the spanning tree
         rooted at ``tree_root`` and decide this broker's sends.
+
+        ``restrict_to`` narrows the initialization mask to virtual links
+        carrying at least one of the given destinations — the replay path
+        for recovered messages, which must not re-traverse subtrees that
+        already received the event.
 
         Raises :class:`RoutingError` if the event violates a declared
         attribute domain — annotations assume domains are exhaustive, so an
@@ -222,6 +268,8 @@ class ContentRouter:
         """
         self._check_domains(event)
         mask = self.links.initialization_mask(tree_root)
+        if restrict_to is not None:
+            mask = self.links.restrict_mask(mask, restrict_to)
         if self._factored is None:
             assert self._engine is not None
             final = self._engine.match_links(event, mask)

@@ -497,7 +497,9 @@ class CompiledProgram:
         yes = 0
         for subscription in self.subs_flat[self.sub_start[index] : self.sub_end[index]]:
             position = self._link_of_subscriber(subscription)
-            if not 0 <= position < self.num_links:
+            if position < 0:
+                continue  # subscriber unreachable — no link to light
+            if position >= self.num_links:
                 raise RoutingError(
                     f"link position {position} out of range for {subscription!r}"
                 )

@@ -93,7 +93,9 @@ class Event:
             values = self._tuple = self.schema.tuple_of(self._values)
         return values
 
-    def with_metadata(self, *, publisher: Optional[str] = None, sequence: Optional[int] = None) -> "Event":
+    def with_metadata(
+        self, *, publisher: Optional[str] = None, sequence: Optional[int] = None
+    ) -> "Event":
         """Return a copy carrying the given delivery metadata."""
         return Event(
             self.schema,

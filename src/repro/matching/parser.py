@@ -96,7 +96,9 @@ def tokenize(text: str) -> List[Token]:
             value, i = _read_string(text, i)
             tokens.append(Token(TokenType.STRING, value, i))
             continue
-        if ch.isdigit() or (ch in "+-." and i + 1 < n and (text[i + 1].isdigit() or text[i + 1] == ".")):
+        if ch.isdigit() or (
+            ch in "+-." and i + 1 < n and (text[i + 1].isdigit() or text[i + 1] == ".")
+        ):
             value, i = _read_number(text, i)
             tokens.append(Token(TokenType.NUMBER, value, i))
             continue
@@ -145,7 +147,11 @@ def _read_string(text: str, start: int) -> Tuple[str, int]:
                     raise ParseError(f"bad hex escape \\{escape}{hex_text}", position=i) from None
                 i += 2 + digits
                 continue
-            out.append({"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", quote: quote}.get(escape, escape))
+            out.append(
+                {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", quote: quote}.get(
+                    escape, escape
+                )
+            )
             i += 2
             continue
         if ch == quote:

@@ -257,7 +257,9 @@ class IntervalTest(AttributeTest):
         )
 
     def __hash__(self) -> int:
-        return hash((IntervalTest, self.low, self.high, self.low_closed, self.high_closed, self.excluded))
+        return hash(
+            (IntervalTest, self.low, self.high, self.low_closed, self.high_closed, self.excluded)
+        )
 
     def __repr__(self) -> str:
         return (
@@ -305,9 +307,13 @@ def normalize_tests(tests: Sequence[AttributeTest]) -> AttributeTest:
     excluded: list = []
     for test in others:
         if isinstance(test, IntervalTest):
-            if test.low is not None and (low is None or test.low > low or (test.low == low and not test.low_closed)):
+            if test.low is not None and (
+                low is None or test.low > low or (test.low == low and not test.low_closed)
+            ):
                 low, low_closed = test.low, test.low_closed
-            if test.high is not None and (high is None or test.high < high or (test.high == high and not test.high_closed)):
+            if test.high is not None and (
+                high is None or test.high < high or (test.high == high and not test.high_closed)
+            ):
                 high, high_closed = test.high, test.high_closed
             excluded.extend(test.excluded)
             continue
@@ -323,7 +329,9 @@ def normalize_tests(tests: Sequence[AttributeTest]) -> AttributeTest:
             closed = test.op is RangeOp.LE
             if high is None or test.bound < high or (test.bound == high and not closed):
                 high, high_closed = test.bound, closed
-    return IntervalTest(low, high, low_closed=low_closed, high_closed=high_closed, excluded=tuple(excluded))
+    return IntervalTest(
+        low, high, low_closed=low_closed, high_closed=high_closed, excluded=tuple(excluded)
+    )
 
 
 class Predicate:
@@ -335,7 +343,11 @@ class Predicate:
 
     __slots__ = ("schema", "_tests")
 
-    def __init__(self, schema: EventSchema, tests: Mapping[str, Union[AttributeTest, Sequence[AttributeTest]]]) -> None:
+    def __init__(
+        self,
+        schema: EventSchema,
+        tests: Mapping[str, Union[AttributeTest, Sequence[AttributeTest]]],
+    ) -> None:
         unknown = set(tests) - set(schema.names)
         if unknown:
             raise PredicateError(f"predicate mentions unknown attributes: {sorted(unknown)!r}")
@@ -426,10 +438,14 @@ class Subscription:
 
     __slots__ = ("predicate", "subscriber", "subscription_id")
 
-    def __init__(self, predicate: Predicate, subscriber: str, subscription_id: Optional[int] = None) -> None:
+    def __init__(
+        self, predicate: Predicate, subscriber: str, subscription_id: Optional[int] = None
+    ) -> None:
         self.predicate = predicate
         self.subscriber = subscriber
-        self.subscription_id = subscription_id if subscription_id is not None else next(_subscription_ids)
+        self.subscription_id = (
+            subscription_id if subscription_id is not None else next(_subscription_ids)
+        )
 
     def matches(self, event: Event) -> bool:
         """Whether the subscription's predicate matches ``event``."""
@@ -444,4 +460,7 @@ class Subscription:
         return hash(self.subscription_id)
 
     def __repr__(self) -> str:
-        return f"Subscription(#{self.subscription_id} {self.subscriber!r}: {self.predicate.describe()})"
+        return (
+            f"Subscription(#{self.subscription_id} "
+            f"{self.subscriber!r}: {self.predicate.describe()})"
+        )

@@ -239,7 +239,9 @@ class ParallelSearchTree:
         self.root = self._insert(self.root, tests, 0, subscription)
         self._by_id[subscription.subscription_id] = subscription
 
-    def _first_constrained(self, tests: List[AttributeTest], start: int, stop: int) -> Optional[int]:
+    def _first_constrained(
+        self, tests: List[AttributeTest], start: int, stop: int
+    ) -> Optional[int]:
         """First position in ``[start, stop)`` with a non-don't-care test."""
         for position in range(start, stop):
             if not tests[position].is_dont_care:

@@ -133,7 +133,9 @@ class EventSchema:
 
     __slots__ = ("_attributes", "_index", "_names")
 
-    def __init__(self, attributes: Iterable[Union[Attribute, Tuple[str, Union[AttributeType, str]]]]) -> None:
+    def __init__(
+        self, attributes: Iterable[Union[Attribute, Tuple[str, Union[AttributeType, str]]]]
+    ) -> None:
         attrs: List[Attribute] = []
         for item in attributes:
             if isinstance(item, Attribute):
@@ -278,7 +280,9 @@ def stock_trade_schema() -> EventSchema:
     )
 
 
-def uniform_schema(num_attributes: int, prefix: str = "a", type: AttributeType = AttributeType.INTEGER) -> EventSchema:
+def uniform_schema(
+    num_attributes: int, prefix: str = "a", type: AttributeType = AttributeType.INTEGER
+) -> EventSchema:
     """A synthetic schema ``[a1, a2, ..., aN]`` as used throughout the paper's
     simulations (e.g. the five-attribute schema of Figure 2 and the
     ten-attribute schemas of Charts 1 and 2)."""

@@ -11,6 +11,19 @@ serves all spanning trees (the clean case of the paper's footnote 1 — see
 A :class:`SpanningTree` answers the question the initialization mask needs:
 *which destinations are downstream of broker b, and through which of b's
 links?*
+
+Incremental repair
+------------------
+:meth:`SpanningTree.repair` patches the tree in place after the topology
+changed (link/broker failure or recovery, broker join/leave).  Because a
+node's canonical label embeds its whole root path, a node's tree position
+changes iff something on its root path changed — so the repair touches
+exactly the subtrees hanging off the failed (or improved) element: the
+changed nodes' parent/child edges are rewired, and descendant sets are
+recomputed only for the union of the changed nodes' old and new ancestor
+chains, bottom-up.  Nodes cut off from the root are dropped from the tree
+(the tree may cover a strict subset of the topology until they recover);
+repair ≡ rebuild-from-scratch is asserted by the property suite.
 """
 
 from __future__ import annotations
@@ -27,20 +40,24 @@ class SpanningTree:
 
     The tree spans *all* nodes (brokers and clients).  ``root`` is the broker
     nearest the publisher; the publisher client itself hangs off the root like
-    any other client.
+    any other client.  With ``partial=True`` unreachable nodes are silently
+    left out instead of raising — that is the state a tree is in mid-failure,
+    and the form used when a tree is first built for a broker that joined a
+    degraded network.
     """
 
-    def __init__(self, topology: Topology, root: str) -> None:
+    def __init__(self, topology: Topology, root: str, *, partial: bool = False) -> None:
         if topology.node(root).kind.is_client:
             raise RoutingError(f"spanning trees are rooted at brokers, not {root!r}")
         self.topology = topology
         self.root = root
-        paths = ShortestPaths(topology, root)
-        missing = [n.name for n in topology.nodes() if n.name not in paths.parent]
-        if missing:
-            raise RoutingError(f"nodes unreachable from {root!r}: {missing!r}")
-        self.parent: Dict[str, Optional[str]] = dict(paths.parent)
-        self.children: Dict[str, List[str]] = {name.name: [] for name in topology.nodes()}
+        self._paths = ShortestPaths(topology, root)
+        if not partial:
+            missing = [n.name for n in topology.nodes() if n.name not in self._paths.parent]
+            if missing:
+                raise RoutingError(f"nodes unreachable from {root!r}: {missing!r}")
+        self.parent: Dict[str, Optional[str]] = dict(self._paths.parent)
+        self.children: Dict[str, List[str]] = {name: [] for name in self.parent}
         for node, parent in self.parent.items():
             if parent is not None:
                 self.children[parent].append(node)
@@ -57,6 +74,88 @@ class SpanningTree:
         frozen = frozenset(collected)
         self._descendants[node] = frozen
         return frozen
+
+    # ------------------------------------------------------------------
+    # Incremental repair
+
+    def repair(self) -> FrozenSet[str]:
+        """Patch the tree after the underlying topology changed.
+
+        Returns the set of nodes whose tree position changed: rerouted
+        (new parent or new root path), dropped (unreachable), or attached
+        (recovered / joined).  Empty when the change did not affect this
+        tree (e.g. a lateral link the tree never used).
+        """
+        old_parent = dict(self.parent)
+        changed = self._paths.repair()
+        if not changed:
+            return frozenset()
+
+        # Rewire parent/child edges for exactly the changed nodes.
+        new_parent = self._paths.parent
+        for node in changed:
+            old = old_parent.get(node)
+            if node in new_parent:
+                new = new_parent[node]
+                self.parent[node] = new
+                self.children.setdefault(node, [])
+            else:
+                new = None
+                self.parent.pop(node, None)
+                self.children.pop(node, None)
+                self._descendants.pop(node, None)
+            if old is not None and old != new:
+                siblings = self.children.get(old)
+                if siblings is not None and node in siblings:
+                    siblings.remove(node)
+            if node in new_parent and new is not None and old != new:
+                # The new parent may itself be a just-attached node whose
+                # children entry has not been created yet in this loop.
+                siblings = self.children.setdefault(new, [])
+                if node not in siblings:
+                    siblings.append(node)
+                    siblings.sort()
+
+        # Descendant sets can change only at ancestors (old or new) of the
+        # changed nodes; recompute those bottom-up from their children's
+        # (already correct) sets.
+        affected: Set[str] = set()
+        for node in changed:
+            walk = old_parent.get(node)
+            while walk is not None:
+                affected.add(walk)
+                walk = old_parent.get(walk)
+            walk = self.parent.get(node)
+            while walk is not None:
+                affected.add(walk)
+                walk = self.parent.get(walk)
+            if node in self.parent:
+                affected.add(node)
+        live_affected = [node for node in affected if node in self.parent]
+        live_affected.sort(key=self._depth_unchecked, reverse=True)
+        for node in live_affected:
+            collected: Set[str] = set()
+            for child in self.children[node]:
+                collected.add(child)
+                collected |= self._descendants[child]
+            self._descendants[node] = frozenset(collected)
+        return changed
+
+    def _depth_unchecked(self, node: str) -> int:
+        depth = 0
+        walk = self.parent.get(node)
+        while walk is not None:
+            depth += 1
+            walk = self.parent.get(walk)
+        return depth
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    @property
+    def covered(self) -> FrozenSet[str]:
+        """The nodes the tree currently reaches (all of them when healthy)."""
+        return frozenset(self.parent)
 
     def descendants(self, node: str) -> FrozenSet[str]:
         """All nodes strictly below ``node`` in the tree."""

@@ -93,8 +93,13 @@ class Topology:
 
     Build with :meth:`add_broker`, :meth:`add_client` and :meth:`add_link`,
     then treat as read-only: routing tables, spanning trees and trit vectors
-    all cache structural facts, so mutating a topology that is already in use
-    by a router is an error the library does not try to detect.
+    all cache structural facts.  Mutating a topology that is already in use
+    (:meth:`remove_link`, a recovery :meth:`add_link`, a broker join) leaves
+    those caches stale until they are repaired — the fault layer
+    (:mod:`repro.sim.faults`) drives :meth:`SpanningTree.repair
+    <repro.network.spanning.SpanningTree.repair>` and friends after every
+    change; mutating without repairing is an error the library does not try
+    to detect.
     """
 
     def __init__(self) -> None:
@@ -110,7 +115,12 @@ class Topology:
         return self._add_node(name, NodeKind.BROKER)
 
     def add_client(
-        self, name: str, broker: str, *, kind: NodeKind = NodeKind.SUBSCRIBER, latency_ms: float = 1.0
+        self,
+        name: str,
+        broker: str,
+        *,
+        kind: NodeKind = NodeKind.SUBSCRIBER,
+        latency_ms: float = 1.0,
     ) -> Node:
         """Add a client attached to ``broker`` by a client link."""
         if not kind.is_client:
@@ -143,6 +153,24 @@ class Topology:
         self._adjacency[a][b] = link
         self._adjacency[b][a] = link
         return link
+
+    def remove_link(self, a: str, b: str) -> Link:
+        """Remove the link between two nodes and return it (so a recovery can
+        restore it with the same latency via :meth:`add_link`).
+
+        This is the fault-injection entry point: cached structures (routing
+        tables, spanning trees, virtual-link tables) do *not* see the change
+        until they are repaired — see :mod:`repro.sim.faults`.
+        """
+        link = self.link_between(a, b)
+        del self._links[link.key()]
+        del self._adjacency[a][b]
+        del self._adjacency[b][a]
+        return link
+
+    def has_link(self, a: str, b: str) -> bool:
+        """Whether a link currently connects ``a`` and ``b``."""
+        return b in self._adjacency.get(a, {})
 
     # ------------------------------------------------------------------
     # Queries

@@ -46,7 +46,9 @@ def to_json(source: Union[MetricsRegistry, Snapshot], *, indent: int = 2) -> str
     return json.dumps(_as_snapshot(source), indent=indent, sort_keys=True, default=str)
 
 
-def write_json(source: Union[MetricsRegistry, Snapshot], path: Union[str, pathlib.Path]) -> pathlib.Path:
+def write_json(
+    source: Union[MetricsRegistry, Snapshot], path: Union[str, pathlib.Path]
+) -> pathlib.Path:
     """Write :func:`to_json` output to ``path`` (parents created)."""
     target = pathlib.Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import abc
 import itertools
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.matching.events import Event
@@ -24,6 +24,41 @@ from repro.matching.schema import AttributeValue, EventSchema
 from repro.network.paths import RoutingTable, all_routing_tables
 from repro.network.spanning import SpanningTree, spanning_trees_for_publishers
 from repro.network.topology import Topology
+
+
+class TopologyRepair:
+    """What a :meth:`ProtocolContext.repair_topology` pass actually changed.
+
+    ``tree_changes`` maps each spanning-tree root to the nodes whose tree
+    position changed; ``routing_changes`` maps each broker to the
+    destinations its routing table rerouted (or lost/gained);
+    ``joined_brokers`` are brokers that appeared since the last repair.
+    Protocols use this to rebuild only the per-broker state the repair can
+    have invalidated.
+    """
+
+    __slots__ = ("tree_changes", "routing_changes", "joined_brokers")
+
+    def __init__(
+        self,
+        tree_changes: Dict[str, FrozenSet[str]],
+        routing_changes: Dict[str, FrozenSet[str]],
+        joined_brokers: Tuple[str, ...],
+    ) -> None:
+        self.tree_changes = tree_changes
+        self.routing_changes = routing_changes
+        self.joined_brokers = joined_brokers
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.tree_changes or self.routing_changes or self.joined_brokers)
+
+    def __repr__(self) -> str:
+        return (
+            f"TopologyRepair({len(self.tree_changes)} trees, "
+            f"{len(self.routing_changes)} tables, "
+            f"joined={list(self.joined_brokers)!r})"
+        )
 
 _message_ids = itertools.count(1)
 
@@ -34,10 +69,22 @@ class SimMessage:
     ``root`` names the spanning tree the event travels on (the publisher's
     broker).  ``destinations`` is only used by the match-first baseline (the
     destination list carried in the header).  ``publish_time_ticks`` is
-    stamped by the simulator for latency accounting.
+    stamped by the simulator for latency accounting.  ``replay_for`` marks a
+    replayed copy of a message lost to a failure: the set of destinations the
+    failed element was responsible for, which restricts routing at every hop
+    so already-served subtrees are not traversed again (see
+    :mod:`repro.sim.faults`).
     """
 
-    __slots__ = ("message_id", "event", "root", "destinations", "publish_time_ticks", "hop")
+    __slots__ = (
+        "message_id",
+        "event",
+        "root",
+        "destinations",
+        "publish_time_ticks",
+        "hop",
+        "replay_for",
+    )
 
     def __init__(
         self,
@@ -47,6 +94,7 @@ class SimMessage:
         destinations: Optional[Tuple[str, ...]] = None,
         publish_time_ticks: int = 0,
         hop: int = 0,
+        replay_for: Optional[FrozenSet[str]] = None,
     ) -> None:
         self.message_id = next(_message_ids)
         self.event = event
@@ -54,15 +102,17 @@ class SimMessage:
         self.destinations = destinations
         self.publish_time_ticks = publish_time_ticks
         self.hop = hop
+        self.replay_for = replay_for
 
     def forwarded(self, *, destinations: Optional[Tuple[str, ...]] = None) -> "SimMessage":
-        """A copy to send one hop further."""
+        """A copy to send one hop further (a replay restriction rides along)."""
         return SimMessage(
             self.event,
             self.root,
             destinations=destinations if destinations is not None else self.destinations,
             publish_time_ticks=self.publish_time_ticks,
             hop=self.hop + 1,
+            replay_for=self.replay_for,
         )
 
     @property
@@ -107,7 +157,13 @@ class Decision:
     differ only under pure flooding, where clients filter for themselves).
     """
 
-    __slots__ = ("sends", "deliveries", "matched_deliveries", "matching_steps", "destination_entries")
+    __slots__ = (
+        "sends",
+        "deliveries",
+        "matched_deliveries",
+        "matching_steps",
+        "destination_entries",
+    )
 
     def __init__(
         self,
@@ -181,8 +237,43 @@ class ProtocolContext:
         return [
             child
             for child in tree.children.get(broker, [])
-            if not self.topology.node(child).kind.is_client
+            if child in self.topology and not self.topology.node(child).kind.is_client
         ]
+
+    def repair_topology(self) -> TopologyRepair:
+        """Incrementally repair spanning trees and routing tables after the
+        topology was mutated (failure, recovery, join, leave).
+
+        Every cached structure is patched rather than rebuilt: trees via
+        :meth:`SpanningTree.repair`, tables via :meth:`RoutingTable.repair`.
+        Brokers that appeared get fresh tables (and fresh trees when they
+        host publishers); the report tells protocols what changed so they
+        can limit mask/annotation rebuilds to affected brokers.
+        """
+        tree_changes: Dict[str, FrozenSet[str]] = {}
+        for root, tree in self.spanning_trees.items():
+            changed = tree.repair()
+            if changed:
+                tree_changes[root] = changed
+        for publisher in self.topology.publishers():
+            root = self.topology.broker_of(publisher)
+            if root not in self.spanning_trees:
+                tree = SpanningTree(self.topology, root, partial=True)
+                self.spanning_trees[root] = tree
+                tree_changes[root] = tree.covered
+        routing_changes: Dict[str, FrozenSet[str]] = {}
+        for broker, table in self.routing_tables.items():
+            changed = table.repair()
+            if changed:
+                routing_changes[broker] = changed
+        joined = tuple(
+            broker
+            for broker in self.topology.brokers()
+            if broker not in self.routing_tables
+        )
+        for broker in joined:
+            self.routing_tables[broker] = RoutingTable(self.topology, broker)
+        return TopologyRepair(tree_changes, routing_changes, joined)
 
 
 class RoutingProtocol(abc.ABC):
@@ -191,8 +282,33 @@ class RoutingProtocol(abc.ABC):
     #: Short name used in logs and experiment tables.
     name: str = "abstract"
 
+    #: Whether the protocol implements the fault hooks below — the fault
+    #: coordinator refuses to inject failures into protocols that don't.
+    supports_faults: bool = False
+
     def __init__(self, context: ProtocolContext) -> None:
         self.context = context
+
+    # ------------------------------------------------------------------
+    # Fault hooks (see repro.sim.faults)
+
+    def on_topology_repaired(self, repair: "TopologyRepair") -> List[str]:
+        """React to a topology repair; returns the brokers whose routing
+        state (masks/annotations) actually changed — those brokers are the
+        candidates for a stale window with flood fallback."""
+        raise SimulationError(
+            f"protocol {self.name!r} does not support topology repair"
+        )
+
+    def set_stale(self, broker: str, stale: bool) -> None:
+        """Mark a broker's annotations stale (repair known, annotations not
+        yet rebuilt).  Protocols without an annotation concept ignore it."""
+
+    def add_subscription(self, subscription: Subscription) -> None:
+        """Register a subscription at runtime (thundering herds, joins)."""
+        raise SimulationError(
+            f"protocol {self.name!r} does not support runtime subscriptions"
+        )
 
     def make_message(self, event: Event, root: str, publish_time_ticks: int = 0) -> SimMessage:
         """The initial message injected at the publishing broker."""

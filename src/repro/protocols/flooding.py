@@ -34,6 +34,7 @@ class FloodingProtocol(RoutingProtocol):
     """Flood the spanning tree; filter at the edge or at the clients."""
 
     name = "flooding"
+    supports_faults = True
 
     def __init__(self, context: ProtocolContext, *, filter_at_edge: bool = False) -> None:
         super().__init__(context)
@@ -48,17 +49,7 @@ class FloodingProtocol(RoutingProtocol):
         self._local_trees: Dict[str, MatcherEngine] = {}
         topology = context.topology
         for broker in topology.brokers():
-            tree = create_engine(
-                context.engine,
-                context.schema,
-                attribute_order=context.attribute_order,
-                domains=context.domains,
-                shards=context.shards,
-                shard_policy=context.shard_policy,
-                shard_workers=context.shard_workers,
-                backend=context.backend,
-            )
-            self._local_trees[broker] = tree
+            self._local_trees[broker] = self._make_local_tree()
         self._subscriber_names = frozenset(topology.subscribers())
         client_broker = {client: topology.broker_of(client) for client in topology.clients()}
         for subscription in context.subscriptions:
@@ -66,6 +57,32 @@ class FloodingProtocol(RoutingProtocol):
             if broker is None:
                 continue
             self._local_trees[broker].insert(subscription)
+
+    def _make_local_tree(self) -> MatcherEngine:
+        context = self.context
+        return create_engine(
+            context.engine,
+            context.schema,
+            attribute_order=context.attribute_order,
+            domains=context.domains,
+            shards=context.shards,
+            shard_policy=context.shard_policy,
+            shard_workers=context.shard_workers,
+            backend=context.backend,
+        )
+
+    def on_topology_repaired(self, repair) -> List[str]:
+        """Flooding reads the (already repaired) trees directly; only a
+        joined broker needs fresh local state."""
+        for broker in repair.joined_brokers:
+            self._local_trees[broker] = self._make_local_tree()
+        self._subscriber_names = frozenset(self.context.topology.subscribers())
+        return []
+
+    def add_subscription(self, subscription) -> None:
+        """Flooding filters locally, so only the subscriber's broker cares."""
+        broker = self.context.topology.broker_of(subscription.subscriber)
+        self._local_trees[broker].insert(subscription)
 
     def handle(self, broker: str, message: SimMessage) -> Decision:
         local = self._local_trees[broker].match(message.event)

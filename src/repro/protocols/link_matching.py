@@ -5,50 +5,169 @@ This is a thin adapter: the real work lives in
 Every broker holds a router over the full replicated subscription set; the
 decision for a message is the router's route decision for the message's
 spanning tree.
+
+Resilience (see :mod:`repro.sim.faults` and ``docs/resilience.md``):
+
+* After a topology repair, :meth:`on_topology_repaired` rebuilds each
+  affected broker's virtual-link table and rebinds its engine — flushing the
+  annotation and every link cache keyed on the old positions.  Unaffected
+  brokers keep their warm caches.
+* While a broker is marked *stale* (structure repaired, annotations not yet
+  rebuilt) it degrades to **flood fallback**: forward to every live
+  spanning-tree child and deliver to locally matching subscribers.  Tree
+  flooding preserves the ≤1-copy-per-link invariant and loses nothing; it
+  merely wastes bandwidth until the annotations catch up.
+* Messages carrying a ``replay_for`` restriction (replayed after a failure)
+  are routed against a mask narrowed to the failed element's
+  responsibilities, so subtrees that already received the event are not
+  traversed again.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Set
 
 from repro.core.router import ContentRouter, RouteDecision
+from repro.errors import RoutingError
+from repro.matching.predicates import Subscription
 from repro.obs import get_registry
-from repro.protocols.base import Decision, ProtocolContext, RoutingProtocol, SimMessage
+from repro.protocols.base import (
+    Decision,
+    ProtocolContext,
+    RoutingProtocol,
+    SimMessage,
+    TopologyRepair,
+)
 
 
 class LinkMatchingProtocol(RoutingProtocol):
     """The paper's protocol: hop-by-hop partial matching."""
 
     name = "link-matching"
+    supports_faults = True
 
     def __init__(self, context: ProtocolContext) -> None:
         super().__init__(context)
         registry = get_registry()
         self._obs = registry.scope("protocol.link_matching")
         self._obs_handled = self._obs.counter("events_handled")
+        self._obs_flood_fallbacks = self._obs.counter("flood_fallbacks")
+        self._obs_replays_routed = self._obs.counter("replays_routed")
+        self._obs_link_rebuilds = self._obs.counter("link_table_rebuilds")
+        self._subscriptions: List[Subscription] = list(context.subscriptions)
+        self._stale: Set[str] = set()
+        # Subscriptions a router could not index yet (subscriber cut off at
+        # build time); retried after every repair.
+        self._deferred: Dict[str, List[Subscription]] = {}
         self.routers: Dict[str, ContentRouter] = {}
         for broker in context.topology.brokers():
-            router = ContentRouter(
-                context.topology,
-                broker,
-                context.routing_tables[broker],
-                context.spanning_trees,
-                context.schema,
-                attribute_order=context.attribute_order,
-                domains=context.domains,
-                factoring_attributes=context.factoring_attributes,
-                engine=context.engine,
-                shards=context.shards,
-                shard_policy=context.shard_policy,
-                shard_workers=context.shard_workers,
-                backend=context.backend,
-            )
-            for subscription in context.subscriptions:
+            self.routers[broker] = self._build_router(broker)
+
+    def _build_router(self, broker: str) -> ContentRouter:
+        context = self.context
+        router = ContentRouter(
+            context.topology,
+            broker,
+            context.routing_tables[broker],
+            context.spanning_trees,
+            context.schema,
+            attribute_order=context.attribute_order,
+            domains=context.domains,
+            factoring_attributes=context.factoring_attributes,
+            engine=context.engine,
+            shards=context.shards,
+            shard_policy=context.shard_policy,
+            shard_workers=context.shard_workers,
+            backend=context.backend,
+        )
+        for subscription in self._subscriptions:
+            try:
                 router.add_subscription(subscription)
-            self.routers[broker] = router
+            except RoutingError:
+                # A subscriber currently cut off owns no virtual link at this
+                # broker; retried after the repair that reattaches it.
+                self._deferred.setdefault(broker, []).append(subscription)
+        return router
+
+    # ------------------------------------------------------------------
+    # Fault hooks
+
+    def on_topology_repaired(self, repair: TopologyRepair) -> List[str]:
+        """Rebuild virtual-link tables for affected brokers only.
+
+        Returns the brokers whose layout actually changed (engine rebound,
+        caches flushed) — the fault coordinator holds those in a stale
+        window with flood fallback until their annotations are rebuilt.
+        """
+        context = self.context
+        for broker in repair.joined_brokers:
+            self.routers[broker] = self._build_router(broker)
+        if not repair.changed:
+            return list(repair.joined_brokers)
+        changed_brokers: List[str] = list(repair.joined_brokers)
+        touched = set(repair.routing_changes)
+        if repair.tree_changes:
+            # A tree change can move downstream signatures at any broker.
+            touched.update(self.routers)
+        for broker in sorted(touched):
+            if broker in repair.joined_brokers:
+                continue
+            router = self.routers.get(broker)
+            if router is None:
+                continue
+            if router.rebuild_links(
+                context.routing_tables[broker], context.spanning_trees
+            ):
+                self._obs_link_rebuilds.inc()
+                changed_brokers.append(broker)
+        # Subscriptions whose subscribers were cut off when a router was
+        # built become indexable once the repair reattaches them.
+        for broker, pending in list(self._deferred.items()):
+            router = self.routers.get(broker)
+            if router is None:
+                del self._deferred[broker]
+                continue
+            still_deferred: List[Subscription] = []
+            for subscription in pending:
+                try:
+                    router.add_subscription(subscription)
+                except RoutingError:
+                    still_deferred.append(subscription)
+            if still_deferred:
+                self._deferred[broker] = still_deferred
+            else:
+                del self._deferred[broker]
+        return changed_brokers
+
+    def set_stale(self, broker: str, stale: bool) -> None:
+        if stale:
+            self._stale.add(broker)
+        else:
+            self._stale.discard(broker)
+
+    def add_subscription(self, subscription: Subscription) -> None:
+        """Insert a subscription into every broker's router at runtime."""
+        self._subscriptions.append(subscription)
+        for broker, router in self.routers.items():
+            try:
+                router.add_subscription(subscription)
+            except RoutingError:
+                self._deferred.setdefault(broker, []).append(subscription)
+
+    # ------------------------------------------------------------------
+    # Decisions
 
     def handle(self, broker: str, message: SimMessage) -> Decision:
-        routed = self.routers[broker].route(message.event, message.root)
+        if broker in self._stale:
+            return self._flood_decision(broker, message)
+        router = self.routers[broker]
+        if message.replay_for is not None:
+            self._obs_replays_routed.inc()
+            routed = router.route(
+                message.event, message.root, restrict_to=message.replay_for
+            )
+        else:
+            routed = router.route(message.event, message.root)
         return self._decision_for(message, routed)
 
     def handle_batch(self, broker: str, messages: Sequence[SimMessage]) -> List[Decision]:
@@ -57,7 +176,8 @@ class LinkMatchingProtocol(RoutingProtocol):
         Messages are grouped by spanning-tree root (the initialization mask
         depends on it); each group goes through
         :meth:`ContentRouter.route_batch`, which deduplicates by projection
-        and hits the engine's link cache.
+        and hits the engine's link cache.  Stale-broker and replay messages
+        take the single-message path (their masks are not the group's).
         """
         if not messages:
             return []
@@ -65,6 +185,9 @@ class LinkMatchingProtocol(RoutingProtocol):
         decisions: List[Decision] = [None] * len(messages)  # type: ignore[list-item]
         by_root: Dict[str, List[int]] = {}
         for i, message in enumerate(messages):
+            if broker in self._stale or message.replay_for is not None:
+                decisions[i] = self.handle(broker, message)
+                continue
             group = by_root.get(message.root)
             if group is None:
                 by_root[message.root] = [i]
@@ -75,6 +198,31 @@ class LinkMatchingProtocol(RoutingProtocol):
             for i, route_decision in zip(indices, routed):
                 decisions[i] = self._decision_for(messages[i], route_decision)
         return decisions
+
+    def _flood_decision(self, broker: str, message: SimMessage) -> Decision:
+        """Graceful degradation while annotations are stale: flood the
+        (already repaired) spanning tree and match only for local delivery.
+
+        Tree flooding keeps ≤1 copy per link and reaches every live
+        subscriber, so correctness is preserved; only bandwidth is wasted.
+        """
+        self._obs_handled.inc()
+        self._obs_flood_fallbacks.inc()
+        router = self.routers[broker]
+        local = router.match_locally(message.event)
+        local_clients = set(self.context.topology.clients_of(broker))
+        deliveries = sorted(
+            subscriber
+            for subscriber in local.subscribers
+            if subscriber in local_clients
+            and (message.replay_for is None or subscriber in message.replay_for)
+        )
+        children = self.context.tree_children(broker, message.root)
+        return Decision(
+            sends=[(child, message.forwarded()) for child in children],
+            deliveries=deliveries,
+            matching_steps=local.steps,
+        )
 
     def _decision_for(self, message: SimMessage, decision: RouteDecision) -> Decision:
         self._obs_handled.inc()

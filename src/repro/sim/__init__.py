@@ -14,6 +14,13 @@ from repro.sim.engine import (
     ticks_to_seconds,
     us_to_ticks,
 )
+from repro.sim.faults import (
+    FaultAction,
+    FaultCoordinator,
+    FaultPlan,
+    InvariantReport,
+    check_invariants,
+)
 from repro.sim.metrics import BrokerStats, DeliveryRecord, SimulationResult
 from repro.sim.runner import NetworkSimulation
 from repro.sim.saturation import (
@@ -29,7 +36,12 @@ __all__ = [
     "DEFAULT_COST_MODEL",
     "DeliveryRecord",
     "EventFactory",
+    "FaultAction",
+    "FaultCoordinator",
+    "FaultPlan",
+    "InvariantReport",
     "NetworkSimulation",
+    "check_invariants",
     "PoissonPublisher",
     "RateProbe",
     "SaturationSearchResult",

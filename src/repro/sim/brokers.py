@@ -59,6 +59,9 @@ class SimBroker:
         self.batch_size = batch_size
         self.queue: Deque[SimMessage] = deque()
         self.busy = False
+        #: Messages popped for the in-progress service period — what the
+        #: fault layer loses when this broker dies mid-service.
+        self.in_service: List[SimMessage] = []
         self.stats = BrokerStats(name)
         # Per-broker instruments in the run's registry (the exported view of
         # the same quantities BrokerStats keeps for the overload criterion).
@@ -93,6 +96,7 @@ class SimBroker:
             count = min(self.batch_size, len(self.queue))
             messages = [self.queue.popleft() for _ in range(count)]
             decisions = self.protocol.handle_batch(self.name, messages)
+        self.in_service = messages
         # Service ticks are charged per message and summed — batching changes
         # who pays the matcher (the batch kernel), not what the cost model
         # charges for the decisions.
@@ -111,6 +115,14 @@ class SimBroker:
         self.simulator.schedule(service_ticks, lambda: self._finish(messages, decisions))
 
     def _finish(self, messages: List[SimMessage], decisions: List[Decision]) -> None:
+        faults = self.network.faults
+        if faults is not None and faults.is_broker_down(self.name):
+            # The broker died mid-service: the batch is annihilated, its
+            # sends never happen (the fault layer replays from its logs).
+            faults.on_service_annihilated(messages)
+            self.in_service = []
+            self.busy = False
+            return
         for message, decision in zip(messages, decisions):
             self.stats.processed += 1
             self.stats.messages_sent += decision.send_count
@@ -121,6 +133,9 @@ class SimBroker:
                 self.network.transmit(self.name, neighbor, outgoing)
             for client in decision.deliveries:
                 self.network.deliver(self.name, client, message, matched=client in matched)
+            if faults is not None:
+                faults.on_processed(self.name, message)
+        self.in_service = []
         self.busy = False
         if self.queue:
             self._start_next()

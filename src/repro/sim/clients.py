@@ -39,11 +39,15 @@ class PoissonPublisher:
         event_factory: EventFactory,
         num_events: int,
         rng: random.Random,
+        *,
+        start_after_s: float = 0.0,
     ) -> None:
         if rate_per_second <= 0:
             raise SimulationError("publish rate must be positive")
         if num_events < 0:
             raise SimulationError("num_events must be >= 0")
+        if start_after_s < 0:
+            raise SimulationError("start_after_s must be >= 0")
         self.simulator = simulator
         self.network = network
         self.name = name
@@ -52,8 +56,15 @@ class PoissonPublisher:
         self.remaining = num_events
         self.rng = rng
         self.published = 0
+        # A delayed start turns the publisher into a flash-crowd source: it
+        # stays silent, then fires at full rate from ``start_after_s`` on.
         if self.remaining:
-            self._schedule_next()
+            if start_after_s > 0:
+                self.simulator.schedule(
+                    seconds_to_ticks(start_after_s), self._schedule_next
+                )
+            else:
+                self._schedule_next()
 
     def _schedule_next(self) -> None:
         delay_s = self.rng.expovariate(self.rate)

@@ -93,7 +93,14 @@ class BrokerStats:
 class DeliveryRecord:
     """One event handed to one client."""
 
-    __slots__ = ("client", "event_id", "publish_time_ticks", "delivery_time_ticks", "matched", "hop")
+    __slots__ = (
+        "client",
+        "event_id",
+        "publish_time_ticks",
+        "delivery_time_ticks",
+        "matched",
+        "hop",
+    )
 
     def __init__(
         self,

@@ -29,7 +29,9 @@ from repro.sim.brokers import SimBroker
 from repro.sim.clients import BurstyPublisher, EventFactory, PoissonPublisher
 from repro.sim.cost import DEFAULT_COST_MODEL, CostModel
 from repro.sim.engine import Simulator, ms_to_ticks, seconds_to_ticks
+from repro.sim.faults import FaultCoordinator, FaultPlan
 from repro.sim.metrics import DeliveryRecord, SimulationResult
+from repro.matching.predicates import Subscription
 from repro.network.topology import NodeKind, Topology
 
 #: Delivery-latency histogram boundaries (milliseconds).
@@ -52,6 +54,9 @@ class NetworkSimulation:
         queue_sample_interval_ms: float = 50.0,
         registry: Optional[MetricsRegistry] = None,
         batch_size: int = 1,
+        fault_plan: Optional[FaultPlan] = None,
+        repair_delay_ms: float = 5.0,
+        annotation_lag_ms: float = 0.0,
     ) -> None:
         topology.validate()
         self.topology = topology
@@ -85,6 +90,17 @@ class NetworkSimulation:
         self._sampling = False
         self._abort_queue_threshold: Optional[int] = None
         self._aborted_overloaded = False
+        #: Fault injection (failures, repairs, replay).  ``None`` keeps the
+        #: healthy fast path byte-for-byte; pass an empty FaultPlan to arm
+        #: the invariant bookkeeping without injecting anything.
+        self.faults: Optional[FaultCoordinator] = None
+        if fault_plan is not None:
+            self.faults = FaultCoordinator(
+                self,
+                fault_plan,
+                repair_delay_ms=repair_delay_ms,
+                annotation_lag_ms=annotation_lag_ms,
+            )
 
     # ------------------------------------------------------------------
     # Wiring used by brokers and clients
@@ -101,6 +117,14 @@ class NetworkSimulation:
             event, broker, publish_time_ticks=self.simulator.now
         )
         self._obs_published.inc()
+        if self.faults is not None:
+            if not self.faults.on_publish(publisher, broker, message):
+                return  # parked in the publisher log until the broker recovers
+            self.simulator.schedule(
+                ms_to_ticks(link.latency_ms),
+                lambda: self._guarded_arrival(broker, message),
+            )
+            return
         self.simulator.schedule(
             ms_to_ticks(link.latency_ms), lambda: self.brokers[broker].receive(message)
         )
@@ -121,6 +145,8 @@ class NetworkSimulation:
 
     def transmit(self, source: str, target: str, message: SimMessage) -> None:
         """Send a message over the broker-broker link (adds hop delay)."""
+        if self.faults is not None and not self.faults.on_transmit(source, target, message):
+            return  # parked at the failure boundary, replayed after repair
         link = self.topology.link_between(source, target)
         counters = self._link_counters.get((source, target))
         if counters is None:
@@ -131,9 +157,33 @@ class NetworkSimulation:
             self._link_counters[(source, target)] = counters
         counters[0].inc()
         counters[1].inc(message.wire_size_bytes)
+        if self.faults is not None:
+            self.simulator.schedule(
+                ms_to_ticks(link.latency_ms),
+                lambda: self._guarded_link_arrival(source, target, message),
+            )
+            return
         self.simulator.schedule(
             ms_to_ticks(link.latency_ms), lambda: self.brokers[target].receive(message)
         )
+
+    def _guarded_arrival(self, broker: str, message: SimMessage) -> None:
+        """Arrival of a publisher injection under fault injection."""
+        assert self.faults is not None
+        if self.faults.is_broker_down(broker):
+            self.faults.on_arrival_lost(message)
+            return
+        self.brokers[broker].receive(message)
+
+    def _guarded_link_arrival(self, source: str, target: str, message: SimMessage) -> None:
+        """Arrival over a broker-broker link under fault injection: a copy
+        in flight when the link or target died is lost (and replayed from
+        the sender's log after repair)."""
+        assert self.faults is not None
+        if self.faults.is_broker_down(target) or not self.topology.has_link(source, target):
+            self.faults.on_arrival_lost(message)
+            return
+        self.brokers[target].receive(message)
 
     def deliver(self, broker: str, client: str, message: SimMessage, *, matched: bool) -> None:
         """Send the event over the client link and record its arrival."""
@@ -166,6 +216,8 @@ class NetworkSimulation:
         rate_per_second: float,
         event_factory: EventFactory,
         num_events: int,
+        *,
+        start_after_s: float = 0.0,
     ) -> PoissonPublisher:
         process = PoissonPublisher(
             self.simulator,
@@ -175,6 +227,7 @@ class NetworkSimulation:
             event_factory,
             num_events,
             random.Random(self.rng.randrange(2**63)),
+            start_after_s=start_after_s,
         )
         self._publishers.append(process)
         return process
@@ -202,6 +255,22 @@ class NetworkSimulation:
         )
         self._publishers.append(process)
         return process
+
+    def add_subscription_at(self, at_s: float, subscription: Subscription) -> None:
+        """Register a subscription mid-run (thundering herds, late joiners).
+
+        Under fault injection the coordinator defers the insert while a
+        repair is pending, so the subscription indexes against settled
+        routing state; the invariant checker only expects it for events
+        published after it was actually indexed."""
+
+        def apply() -> None:
+            if self.faults is not None:
+                self.faults.add_subscription(subscription)
+            else:
+                self.protocol.add_subscription(subscription)
+
+        self.simulator.schedule_at(seconds_to_ticks(at_s), apply)
 
     # ------------------------------------------------------------------
     # Running

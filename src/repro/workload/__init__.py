@@ -10,14 +10,17 @@ from repro.workload.generators import (
     figure6_region_of,
     measure_selectivity,
 )
+from repro.workload.scenarios import FlashCrowd, ThunderingHerd
 from repro.workload.spec import CHART1_SPEC, CHART2_SPEC, WorkloadSpec
 
 __all__ = [
     "CHART1_SPEC",
     "CHART2_SPEC",
     "EventGenerator",
+    "FlashCrowd",
     "RegionOf",
     "SubscriptionGenerator",
+    "ThunderingHerd",
     "WorkloadSpec",
     "ZipfSampler",
     "figure6_region_of",

@@ -144,7 +144,9 @@ class EventGenerator:
             self._samplers[region] = sampler
         return sampler
 
-    def event_for(self, publisher: Optional[str] = None, rng: Optional[random.Random] = None) -> Event:
+    def event_for(
+        self, publisher: Optional[str] = None, rng: Optional[random.Random] = None
+    ) -> Event:
         """One random event; ``rng`` overrides the generator's stream (the
         simulator gives each publisher process its own)."""
         rng = rng if rng is not None else self.rng

@@ -1,0 +1,129 @@
+"""Stress-scenario workload shapes layered on the Zipf machinery.
+
+Two churn patterns that the failure suite exercises alongside topology
+faults:
+
+*Flash crowd* — a sudden burst of publications concentrated on a tiny hot
+slice of the value space (breaking news: everyone publishes about the same
+thing).  Modeled as an :class:`~repro.workload.generators.EventGenerator`
+whose sampler uses a much steeper Zipf exponent, so nearly all probability
+mass sits on the top-ranked values, paired with a start offset so the crowd
+arrives mid-run on top of the background load.
+
+*Thundering herd* — a wave of near-identical subscriptions arriving at once
+(everyone subscribes to the hot topic after the news breaks).  Modeled as a
+batch of subscriptions whose constrained attributes are drawn with a steep
+exponent from one regional ranking, all scheduled for the same instant via
+:meth:`NetworkSimulation.add_subscription_at`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.matching.events import Event
+from repro.matching.predicates import Subscription
+from repro.workload.generators import EventGenerator, RegionOf, SubscriptionGenerator
+from repro.workload.spec import WorkloadSpec
+
+
+def _steepened(spec: WorkloadSpec, exponent: float) -> WorkloadSpec:
+    """The same control parameters with a hotter Zipf exponent."""
+    if exponent <= spec.zipf_exponent:
+        raise SimulationError(
+            "a crowd/herd exponent must exceed the background exponent"
+        )
+    from dataclasses import replace
+
+    return replace(spec, zipf_exponent=exponent)
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A burst of hot-topic publications arriving mid-run.
+
+    ``start_after_s`` is where the crowd begins; feed it (with the factory
+    and a rate) to :meth:`NetworkSimulation.add_poisson_publisher`'s
+    ``start_after_s`` parameter.  ``rate_multiplier`` scales the background
+    publication rate for the crowd's publisher process.
+    """
+
+    spec: WorkloadSpec
+    start_after_s: float = 1.0
+    rate_multiplier: float = 4.0
+    num_events: int = 100
+    #: Zipf exponent for the crowd's value draws; >= ~3 concentrates almost
+    #: all mass on the top-ranked value of each attribute.
+    hot_exponent: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.start_after_s < 0:
+            raise SimulationError("start_after_s must be >= 0")
+        if self.rate_multiplier <= 0:
+            raise SimulationError("rate_multiplier must be > 0")
+        if self.num_events < 1:
+            raise SimulationError("num_events must be >= 1")
+
+    def event_factory(
+        self,
+        publisher: str,
+        *,
+        seed: int = 0,
+        region_of: Optional[RegionOf] = None,
+    ) -> Callable[[random.Random], Event]:
+        """An event factory whose draws concentrate on the hot values."""
+        generator = EventGenerator(
+            _steepened(self.spec, self.hot_exponent),
+            seed=seed,
+            region_of=region_of,
+        )
+        return generator.factory_for(publisher)
+
+    def crowd_rate(self, background_rate_per_s: float) -> float:
+        return background_rate_per_s * self.rate_multiplier
+
+
+@dataclass(frozen=True)
+class ThunderingHerd:
+    """A wave of near-identical subscriptions landing at one instant."""
+
+    spec: WorkloadSpec
+    arrive_at_s: float = 1.0
+    size: int = 50
+    hot_exponent: float = 3.0
+    #: All herd members draw from this locality region's ranking, so their
+    #: interests pile onto the same hot values.
+    region: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrive_at_s < 0:
+            raise SimulationError("arrive_at_s must be >= 0")
+        if self.size < 1:
+            raise SimulationError("size must be >= 1")
+
+    def subscriptions(
+        self, subscribers: Sequence[str], *, seed: int = 0
+    ) -> List[Subscription]:
+        """``size`` hot subscriptions spread round-robin over the
+        subscribers, every one drawn from the herd's regional ranking."""
+        if not subscribers:
+            raise SimulationError("no subscribers for the herd")
+        generator = SubscriptionGenerator(
+            _steepened(self.spec, self.hot_exponent),
+            seed=seed,
+            region_of=lambda _client: self.region,
+        )
+        return generator.subscriptions_for(subscribers, self.size)
+
+    def arrivals(
+        self, subscribers: Sequence[str], *, seed: int = 0
+    ) -> List[Tuple[float, Subscription]]:
+        """(at_s, subscription) pairs ready for
+        :meth:`NetworkSimulation.add_subscription_at`."""
+        return [
+            (self.arrive_at_s, subscription)
+            for subscription in self.subscriptions(subscribers, seed=seed)
+        ]

@@ -11,7 +11,11 @@ class TestHierarchy:
     def test_every_library_error_is_a_repro_error(self):
         for name in dir(errors):
             item = getattr(errors, name)
-            if isinstance(item, type) and issubclass(item, Exception) and item is not errors.ReproError:
+            if (
+                isinstance(item, type)
+                and issubclass(item, Exception)
+                and item is not errors.ReproError
+            ):
                 assert issubclass(item, errors.ReproError), name
 
     def test_subsystem_families(self):

@@ -1,0 +1,201 @@
+"""Units for the fault-injection layer: plans, actions, coordinator basics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.matching import Event, Subscription, parse_predicate, uniform_schema
+from repro.network.figures import linear_chain
+from repro.protocols import LinkMatchingProtocol, ProtocolContext
+from repro.sim import (
+    FaultAction,
+    FaultPlan,
+    NetworkSimulation,
+    check_invariants,
+)
+
+SCHEMA = uniform_schema(3)
+DOMAINS = {f"a{i}": [0, 1, 2] for i in range(1, 4)}
+
+
+def build_topology():
+    topology = linear_chain(5, subscribers_per_broker=2)
+    topology.add_link("B1", "B3", latency_ms=25.0)
+    return topology
+
+
+def build_simulation(plan, *, seed=7, events=80, repair_delay_ms=5.0, **kwargs):
+    topology = build_topology()
+    rng = random.Random(1)
+    subscriptions = []
+    for client in sorted(topology.subscribers()):
+        tests = [f"a{j}={rng.randrange(3)}" for j in range(1, 4) if rng.random() < 0.5]
+        expression = " & ".join(tests) if tests else "*"
+        subscriptions.append(Subscription(parse_predicate(SCHEMA, expression), client))
+    context = ProtocolContext(topology, SCHEMA, subscriptions, domains=DOMAINS)
+    simulation = NetworkSimulation(
+        topology,
+        LinkMatchingProtocol(context),
+        seed=seed,
+        fault_plan=plan,
+        repair_delay_ms=repair_delay_ms,
+        **kwargs,
+    )
+    simulation.add_poisson_publisher(
+        "P1",
+        60.0,
+        lambda r: Event.from_tuple(SCHEMA, tuple(r.randrange(3) for _ in range(3))),
+        events,
+    )
+    return simulation
+
+
+# ----------------------------------------------------------------------
+# FaultAction
+
+
+def test_action_requires_exactly_one_trigger():
+    with pytest.raises(SimulationError):
+        FaultAction("fail_broker", "B1")
+    with pytest.raises(SimulationError):
+        FaultAction("fail_broker", "B1", at_s=1.0, after_events=5)
+
+
+def test_action_validates_fields():
+    with pytest.raises(SimulationError):
+        FaultAction("explode", "B1", at_s=1.0)
+    with pytest.raises(SimulationError):
+        FaultAction.fail_broker("B1", at_s=-0.5)
+    with pytest.raises(SimulationError):
+        FaultAction.fail_link("A", "B", after_events=0)
+    with pytest.raises(SimulationError):
+        FaultAction("join_broker", "B9", at_s=1.0)  # needs attach_to
+
+
+def test_action_constructors_round_trip():
+    action = FaultAction.join_broker(
+        "B9", attach_to="B1", clients=("S.B9.0",), at_s=2.0, latency_ms=12.0
+    )
+    assert action.kind == "join_broker"
+    assert action.attach_to == "B1"
+    assert action.clients == ("S.B9.0",)
+    assert action.latency_ms == 12.0
+    assert "join_broker" in repr(action)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan
+
+
+def test_random_plan_spares_publisher_brokers():
+    topology = build_topology()
+    for seed in range(20):
+        plan = FaultPlan.random(topology, seed=seed, failures=3)
+        for action in plan:
+            if action.kind == "fail_broker":
+                assert action.target != "B0"  # hosts P1
+
+
+def test_random_plan_targets_each_element_once():
+    topology = build_topology()
+    for seed in range(20):
+        plan = FaultPlan.random(topology, seed=seed, failures=4)
+        failed = [a.target for a in plan if a.kind.startswith("fail")]
+        assert len(failed) == len(set(failed))
+        # Every failure is paired with a later recovery of the same element.
+        for action in plan:
+            if not action.kind.startswith("fail"):
+                continue
+            kind = action.kind.replace("fail", "recover")
+            partner = next(a for a in plan if a.kind == kind and a.target == action.target)
+            assert partner.at_s > action.at_s
+
+
+def test_random_plan_respects_spare_list():
+    topology = build_topology()
+    plan = FaultPlan.random(topology, seed=3, failures=10, spare=("B1", "B2", "B3", "B4"))
+    assert all(a.kind in ("fail_link", "recover_link") for a in plan)
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+
+
+def test_coordinator_rejects_negative_delays():
+    with pytest.raises(SimulationError):
+        build_simulation(FaultPlan([]), repair_delay_ms=-1.0)
+
+
+def test_coordinator_rejects_unsupported_protocol():
+    from repro.protocols.base import Decision, RoutingProtocol
+
+    class NoFaults(RoutingProtocol):
+        name = "no-faults"
+        supports_faults = False
+
+        def handle(self, broker, message):
+            return Decision(sends=[], deliveries=[], matching_steps=0)
+
+    topology = build_topology()
+    context = ProtocolContext(topology, SCHEMA, [], domains=DOMAINS)
+    with pytest.raises(SimulationError):
+        NetworkSimulation(
+            topology,
+            NoFaults(context),
+            fault_plan=FaultPlan([FaultAction.fail_broker("B2", at_s=1.0)]),
+        )
+
+
+def test_empty_plan_keeps_run_undisturbed():
+    simulation = build_simulation(FaultPlan([]), events=40)
+    result = simulation.run()
+    report = check_invariants(result, simulation.faults)
+    assert report.ok
+    assert report.disturbed_events == 0
+    assert report.events_checked == 40
+
+
+def test_leave_broker_refuses_publisher_host():
+    plan = FaultPlan([FaultAction.leave_broker("B0", at_s=0.2)])
+    simulation = build_simulation(plan, events=30)
+    with pytest.raises(SimulationError):
+        simulation.run()
+
+
+def test_link_failure_composes_with_broker_failure():
+    """Fail a broker, then independently fail one of its (islanded) links;
+    recover in the same order.  The link must come back exactly once."""
+    plan = FaultPlan(
+        [
+            FaultAction.fail_broker("B2", at_s=0.3),
+            FaultAction.fail_link("B1", "B2", at_s=0.5),
+            FaultAction.recover_broker("B2", at_s=0.7),
+            FaultAction.recover_link("B1", "B2", at_s=0.9),
+        ]
+    )
+    simulation = build_simulation(plan, events=80)
+    result = simulation.run()
+    assert simulation.topology.has_link("B1", "B2")
+    assert simulation.topology.has_link("B2", "B3")
+    report = check_invariants(result, simulation.faults)
+    assert report.ok, (report.lost[:5], report.duplicates[:5])
+
+
+def test_fault_metrics_recorded():
+    plan = FaultPlan(
+        [
+            FaultAction.fail_broker("B2", at_s=0.4),
+            FaultAction.recover_broker("B2", at_s=0.8),
+        ]
+    )
+    simulation = build_simulation(plan, events=80)
+    result = simulation.run()
+    metrics = result.counter_snapshot()
+    assert metrics["sim.fault.actions_applied"]["value"] == 2
+    assert metrics["sim.fault.repairs"]["value"] >= 2
+    assert metrics["sim.fault.brokers_down"]["value"] == 0
+    report = check_invariants(result, simulation.faults)
+    assert report.ok

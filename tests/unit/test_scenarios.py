@@ -1,0 +1,130 @@
+"""Units for the stress-scenario workload shapes (flash crowd, thundering
+herd) and the delayed-start publisher primitive they ride on."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.matching import Event, Subscription, parse_predicate, uniform_schema
+from repro.network.figures import linear_chain
+from repro.protocols import LinkMatchingProtocol, ProtocolContext
+from repro.sim import NetworkSimulation, seconds_to_ticks
+from repro.workload import FlashCrowd, ThunderingHerd, WorkloadSpec
+
+SPEC = WorkloadSpec(num_attributes=3, values_per_attribute=5, factoring_levels=1)
+
+
+# ----------------------------------------------------------------------
+# FlashCrowd
+
+
+def test_flash_crowd_validates():
+    with pytest.raises(SimulationError):
+        FlashCrowd(SPEC, start_after_s=-1.0)
+    with pytest.raises(SimulationError):
+        FlashCrowd(SPEC, rate_multiplier=0.0)
+    with pytest.raises(SimulationError):
+        FlashCrowd(SPEC, num_events=0)
+    with pytest.raises(SimulationError):
+        # The crowd exponent must be hotter than the background's.
+        FlashCrowd(SPEC, hot_exponent=SPEC.zipf_exponent).event_factory("P1")
+
+
+def test_flash_crowd_concentrates_on_hot_values():
+    crowd = FlashCrowd(SPEC, hot_exponent=6.0)
+    factory = crowd.event_factory("P1", seed=5)
+    rng = random.Random(5)
+    counts = Counter(factory(rng)["a1"] for _ in range(300))
+    # With exponent 6 over 5 values, rank 1 carries ~98% of the mass.
+    assert counts[0] / 300 > 0.9
+
+
+def test_flash_crowd_rate_scaling():
+    crowd = FlashCrowd(SPEC, rate_multiplier=4.0)
+    assert crowd.crowd_rate(50.0) == 200.0
+
+
+# ----------------------------------------------------------------------
+# ThunderingHerd
+
+
+def test_herd_validates():
+    with pytest.raises(SimulationError):
+        ThunderingHerd(SPEC, arrive_at_s=-0.1)
+    with pytest.raises(SimulationError):
+        ThunderingHerd(SPEC, size=0)
+    with pytest.raises(SimulationError):
+        ThunderingHerd(SPEC).subscriptions([])
+
+
+def test_herd_generates_hot_subscriptions():
+    herd = ThunderingHerd(SPEC, size=40, hot_exponent=6.0)
+    subscriptions = herd.subscriptions(["s1", "s2", "s3"], seed=2)
+    assert len(subscriptions) == 40
+    assert {s.subscriber for s in subscriptions} == {"s1", "s2", "s3"}
+    # Constrained values pile onto the hot end of the ranking.
+    constrained = [
+        test.value
+        for subscription in subscriptions
+        for test in subscription.predicate.tests
+        if getattr(test, "value", None) is not None
+    ]
+    assert constrained, "herd predicates should constrain something"
+    hot = sum(1 for value in constrained if value == 0)
+    assert hot / len(constrained) > 0.8
+
+
+def test_herd_arrivals_are_simultaneous():
+    herd = ThunderingHerd(SPEC, arrive_at_s=1.5, size=6)
+    arrivals = herd.arrivals(["s1", "s2"], seed=0)
+    assert len(arrivals) == 6
+    assert {at for at, _ in arrivals} == {1.5}
+
+
+# ----------------------------------------------------------------------
+# Delayed-start publisher
+
+
+def test_poisson_publisher_start_after():
+    schema = uniform_schema(3)
+    topology = linear_chain(3, subscribers_per_broker=1)
+    context = ProtocolContext(
+        topology,
+        schema,
+        [
+            Subscription(parse_predicate(schema, "*"), client)
+            for client in topology.subscribers()
+        ],
+        domains={f"a{i}": [0, 1, 2] for i in range(1, 4)},
+    )
+    simulation = NetworkSimulation(topology, LinkMatchingProtocol(context), seed=3)
+    simulation.add_poisson_publisher(
+        "P1",
+        200.0,
+        lambda r: Event.from_tuple(schema, (0, 0, 0)),
+        10,
+        start_after_s=0.5,
+    )
+    result = simulation.run()
+    assert result.published_events == 10
+    first_publish = min(r.publish_time_ticks for r in result.deliveries)
+    assert first_publish >= seconds_to_ticks(0.5)
+
+
+def test_poisson_publisher_rejects_negative_start():
+    schema = uniform_schema(3)
+    topology = linear_chain(2, subscribers_per_broker=1)
+    context = ProtocolContext(topology, schema, [], domains={})
+    simulation = NetworkSimulation(topology, LinkMatchingProtocol(context), seed=3)
+    with pytest.raises(SimulationError):
+        simulation.add_poisson_publisher(
+            "P1",
+            100.0,
+            lambda r: Event.from_tuple(schema, (0, 0, 0)),
+            5,
+            start_after_s=-0.1,
+        )
