@@ -44,7 +44,7 @@ RESULTS_PATH = RESULTS_DIR / "compare_engines.txt"
 ENGINES = ("tree", "compiled")
 
 
-def build_engine(name, subscriptions, *, cache=True, backend=None):
+def build_engine(name, subscriptions, *, cache=True, backend=None, aggregate=False):
     spec = CHART1_SPEC
     engine = create_engine(
         name,
@@ -54,6 +54,9 @@ def build_engine(name, subscriptions, *, cache=True, backend=None):
         # The tree engine has no kernels to swap; --backend only affects
         # the compiled side of the comparison.
         backend=backend if name == "compiled" else None,
+        # The covering forest wraps the compiled side only: the tree engine
+        # stays the unaggregated reference the speedup is measured against.
+        aggregate=aggregate and name == "compiled",
     )
     for subscription in subscriptions:
         engine.insert(subscription)
@@ -107,7 +110,10 @@ def time_matches_churn(engine, events, churn, plan):
     return elapsed / len(events), total_steps / len(events)
 
 
-def run(counts, num_events, repeats, seed, *, cache=True, churn=0, backend=None):
+def run(
+    counts, num_events, repeats, seed,
+    *, cache=True, churn=0, backend=None, aggregate=False, dup_rate=0.0,
+):
     """Sweep the subscription counts; returns (rows, rendered table text).
 
     Each row is ``{subscriptions, avg_steps, tree_us, compiled_us, speedup}``.
@@ -120,7 +126,9 @@ def run(counts, num_events, repeats, seed, *, cache=True, churn=0, backend=None)
     starting state).
     """
     spec = CHART1_SPEC
-    subscription_generator = SubscriptionGenerator(spec, seed=seed)
+    subscription_generator = SubscriptionGenerator(
+        spec, seed=seed, duplicate_rate=dup_rate
+    )
     event_generator = EventGenerator(spec, seed=seed + 1)
     events = [event_generator.event_for() for _ in range(num_events)]
 
@@ -147,7 +155,8 @@ def run(counts, num_events, repeats, seed, *, cache=True, churn=0, backend=None)
                 best = float("inf")
                 for _ in range(repeats):
                     engine = build_engine(
-                        name, subscriptions, cache=cache, backend=backend
+                        name, subscriptions, cache=cache, backend=backend,
+                        aggregate=aggregate,
                     )
                     engine.match(events[0])  # warm up (compiled: force compilation)
                     per_event, avg_steps = time_matches_churn(
@@ -157,11 +166,28 @@ def run(counts, num_events, repeats, seed, *, cache=True, churn=0, backend=None)
                 per_match[name], steps[name] = best, avg_steps
             else:
                 engine = build_engine(
-                    name, subscriptions, cache=cache, backend=backend
+                    name, subscriptions, cache=cache, backend=backend,
+                    aggregate=aggregate,
                 )
                 engine.match(events[0])  # warm up (compiled: force compilation)
                 per_match[name], steps[name] = time_matches(engine, events, repeats)
-        assert steps["tree"] == steps["compiled"], "engines disagree on steps"
+        if aggregate:
+            # Aggregation legitimately changes the step count (deduped
+            # leaves walk once for many subscribers); sanity-check match
+            # sets instead of steps.
+            tree_set = sorted(
+                s.subscription_id
+                for s in build_engine("tree", subscriptions).match(events[0]).subscriptions
+            )
+            agg_engine = build_engine(
+                "compiled", subscriptions, cache=cache, backend=backend, aggregate=True
+            )
+            agg_set = sorted(
+                s.subscription_id for s in agg_engine.match(events[0]).subscriptions
+            )
+            assert tree_set == agg_set, "aggregation changed the match set"
+        else:
+            assert steps["tree"] == steps["compiled"], "engines disagree on steps"
         speedup = per_match["tree"] / per_match["compiled"]
         rows.append(
             {
@@ -193,6 +219,8 @@ def emit_bench(rows, args, directory):
             "cache": not args.no_cache,
             "churn": args.churn,
             "backend": args.backend,
+            "aggregate": args.aggregate,
+            "dup_rate": args.dup_rate,
         },
         wall_clock_s=None,
         metrics=get_registry(),
@@ -232,6 +260,18 @@ def main(argv=None):
         help="kernel backend for the compiled engine (default: engine default)",
     )
     parser.add_argument(
+        "--aggregate", action="store_true",
+        help="wrap the compiled engine in the online covering forest "
+        "(repro.matching.aggregation); the tree engine stays the "
+        "unaggregated reference, so the speedup column shows the dedup win",
+    )
+    parser.add_argument(
+        "--dup-rate", type=float, default=0.0, metavar="D",
+        help="probability that a generated subscription reuses a previously "
+        "generated predicate body (see SubscriptionGenerator duplicate_rate); "
+        "makes the aggregation win measurable",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the compiled engine's projection-keyed match cache so "
         "the gate measures the raw kernel (repeated timing passes over the "
@@ -243,6 +283,7 @@ def main(argv=None):
     rows, table = run(
         args.counts, args.events, args.repeats, args.seed,
         cache=not args.no_cache, churn=args.churn, backend=args.backend,
+        aggregate=args.aggregate, dup_rate=args.dup_rate,
     )
     print(table)
     if args.save:

@@ -52,13 +52,15 @@ def _metric_value(payload: Dict[str, Any], key: Optional[str]) -> Any:
 
 
 def _speedup_cell(payload: Dict[str, Any]) -> Any:
-    """compare_engines/batch_scaling/shard_scaling/backend_scaling
-    artifacts carry sweep rows in ``extra``.
+    """compare_engines/batch_scaling/shard_scaling/backend_scaling/
+    aggregation_scaling artifacts carry sweep rows in ``extra``.
 
     The cell shows the sweep's headline row: the vector kernel
-    (backend_scaling), the largest subscription count (compare_engines),
-    the pooled stream's largest batch (batch_scaling), or the churn
-    stream's best serial shard count (shard_scaling).
+    (backend_scaling), the largest subscription count (compare_engines and
+    aggregation_scaling — the latter's baseline may be skipped at scale, so
+    the cell can be empty), the pooled stream's largest batch
+    (batch_scaling), or the churn stream's best serial shard count
+    (shard_scaling).
     """
     rows = payload.get("extra", {}).get("rows")
     if not rows:
@@ -67,6 +69,10 @@ def _speedup_cell(payload: Dict[str, Any]) -> Any:
         gate_row = next(
             (row for row in rows if row.get("backend") == "vector"), rows[0]
         )
+    elif any("compression" in row for row in rows):
+        # aggregation_scaling: rows also carry "subscriptions", so this
+        # discriminant must be checked before the compare_engines one.
+        gate_row = max(rows, key=lambda row: row.get("subscriptions", 0))
     elif any("subscriptions" in row for row in rows):
         gate_row = max(rows, key=lambda row: row.get("subscriptions", 0))
     elif any("shards" in row for row in rows):
@@ -86,6 +92,19 @@ def _speedup_cell(payload: Dict[str, Any]) -> Any:
         )
     speedup = gate_row.get("speedup")
     return f"{speedup:.2f}x" if isinstance(speedup, (int, float)) else ""
+
+
+def _compression_cell(payload: Dict[str, Any]) -> Any:
+    """Subscription-aggregation compression at the largest sweep point
+    (aggregation_scaling artifacts only; empty for every other benchmark)."""
+    rows = payload.get("extra", {}).get("rows") or []
+    if not any("compression" in row for row in rows):
+        return ""
+    gate_row = max(rows, key=lambda row: row.get("subscriptions", 0))
+    compression = gate_row.get("compression")
+    return (
+        f"{compression:.2f}x" if isinstance(compression, (int, float)) else ""
+    )
 
 
 def _backend_cell(payload: Dict[str, Any]) -> Any:
@@ -120,7 +139,10 @@ def trend_tables(
 
     tables = []
     for name in sorted(by_name):
-        columns = ["created", "git_sha", "engine", "backend", "wall_clock_s", "speedup"]
+        columns = [
+            "created", "git_sha", "engine", "backend", "wall_clock_s",
+            "speedup", "compression",
+        ]
         if metric:
             columns.append(metric)
         table = ExperimentTable(f"Trend: {name}", columns)
@@ -136,6 +158,7 @@ def trend_tables(
                 _backend_cell(payload),
                 f"{wall:.2f}" if isinstance(wall, (int, float)) else "",
                 _speedup_cell(payload),
+                _compression_cell(payload),
             ]
             if metric:
                 row.append(_metric_value(payload, metric))

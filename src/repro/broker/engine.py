@@ -49,9 +49,15 @@ class MatchingEngine:
         shard_policy: Optional[str] = None,
         shard_workers: int = 0,
         backend: Optional[str] = None,
+        aggregate: bool = False,
     ) -> None:
         self.schema = schema
         self.engine = engine
+        if aggregate:
+            # Aggregation compresses the subscription set inside the engine;
+            # factoring splits it before the engine sees it — aggregation
+            # takes precedence (mirrors ContentRouter).
+            factoring_attributes = None
         if engine == "sharded":
             # Sharding is itself a partitioned index; it takes precedence
             # over factoring (FactoredMatcher only wraps tree/compiled).
@@ -81,6 +87,7 @@ class MatchingEngine:
                 shard_policy=shard_policy,
                 shard_workers=shard_workers,
                 backend=backend,
+                aggregate=aggregate,
             )
 
     # ------------------------------------------------------------------

@@ -64,6 +64,7 @@ class BrokerNetworkConfig:
         shard_policy: Optional[str] = None,
         shard_workers: int = 0,
         backend: Optional[str] = None,
+        aggregate: bool = False,
     ) -> None:
         topology.validate()
         if not topology.publishers():
@@ -78,6 +79,7 @@ class BrokerNetworkConfig:
         self.shard_policy = shard_policy
         self.shard_workers = shard_workers
         self.backend = backend
+        self.aggregate = aggregate
         self.routing_tables: Dict[str, RoutingTable] = all_routing_tables(topology)
         self.spanning_trees: Dict[str, SpanningTree] = spanning_trees_for_publishers(topology)
 
@@ -145,6 +147,7 @@ class BrokerNode:
             shard_policy=config.shard_policy,
             shard_workers=config.shard_workers,
             backend=config.backend,
+            aggregate=config.aggregate,
         )
         #: When set, per-client event logs are persisted under this
         #: directory (one subdirectory per broker), so reliable redelivery

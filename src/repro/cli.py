@@ -101,6 +101,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "(interp, the default), columnar bulk-array kernels (vector), or "
         "shared-memory process workers for --engine sharded (procpool)",
     )
+    parser.add_argument(
+        "--aggregate",
+        action="store_true",
+        help="compress the subscription set with the online covering forest "
+        "before compilation (dedupes identical predicate bodies and folds "
+        "covered predicates under their covering parent)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     chart1 = commands.add_parser("chart1", help="saturation points (flooding vs link matching)")
@@ -149,6 +156,7 @@ def _run_chart1(args: argparse.Namespace) -> None:
         shard_policy=args.shard_policy,
         shard_workers=args.shard_workers,
         backend=args.backend,
+        aggregate=args.aggregate,
         metrics_out=args.metrics_out,
     )
     table = run_chart1(config)
@@ -180,6 +188,7 @@ def _run_chart2(args: argparse.Namespace) -> None:
         shard_policy=args.shard_policy,
         shard_workers=args.shard_workers,
         backend=args.backend,
+        aggregate=args.aggregate,
         metrics_out=args.metrics_out,
     )
     table = run_chart2(config)
@@ -209,6 +218,7 @@ def _run_chart3(args: argparse.Namespace) -> None:
         shard_policy=args.shard_policy,
         shard_workers=args.shard_workers,
         backend=args.backend,
+        aggregate=args.aggregate,
         metrics_out=args.metrics_out,
     )
     table = run_chart3(config)
@@ -232,6 +242,7 @@ def _run_throughput(args: argparse.Namespace) -> None:
         shard_policy=args.shard_policy,
         shard_workers=args.shard_workers,
         backend=args.backend,
+        aggregate=args.aggregate,
         metrics_out=args.metrics_out,
     )
     print(run_throughput(config).format())
@@ -251,6 +262,7 @@ def _run_bursty(args: argparse.Namespace) -> None:
         shard_policy=args.shard_policy,
         shard_workers=args.shard_workers,
         backend=args.backend,
+        aggregate=args.aggregate,
         metrics_out=args.metrics_out,
     )
     print(run_bursty(config).format())
@@ -338,6 +350,7 @@ def _run_demo(args: argparse.Namespace) -> None:
         shard_policy=args.shard_policy,
         shard_workers=args.shard_workers,
         backend=args.backend,
+        aggregate=args.aggregate,
     )
     network.subscribe("alice", "issue='IBM' & price<120 & volume>1000")
     network.subscribe("bob", "volume>50000")

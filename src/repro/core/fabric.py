@@ -145,6 +145,7 @@ class ContentRoutedNetwork:
         shard_policy: Optional[str] = None,
         shard_workers: int = 0,
         backend: Optional[str] = None,
+        aggregate: bool = False,
     ) -> None:
         topology.validate()
         if not topology.publishers():
@@ -168,6 +169,7 @@ class ContentRoutedNetwork:
                 shard_policy=shard_policy,
                 shard_workers=shard_workers,
                 backend=backend,
+                aggregate=aggregate,
             )
             for broker in topology.brokers()
         }

@@ -89,6 +89,7 @@ class ContentRouter:
         shard_policy: Optional[str] = None,
         shard_workers: int = 0,
         backend: Optional[str] = None,
+        aggregate: bool = False,
     ) -> None:
         self.topology = topology
         self.broker = broker
@@ -110,6 +111,12 @@ class ContentRouter:
             # The sharded engine is itself a partitioned index (the hash
             # policy partitions by first indexed attribute — factoring's own
             # idea), so sharding takes precedence over factoring.
+            factoring_attributes = None
+        if aggregate:
+            # Aggregation compresses the engine's subscription set; the
+            # factored matcher splits subscriptions across sub-trees before
+            # the engine sees them, which would defeat (and complicate) the
+            # covering forest — aggregation takes precedence.
             factoring_attributes = None
         if factoring_attributes:
             if domains is None:
@@ -141,6 +148,7 @@ class ContentRouter:
                 shard_policy=shard_policy,
                 shard_workers=shard_workers,
                 backend=backend,
+                aggregate=aggregate,
             )
             self._engine.bind_links(self.links.num_links, self._link_of_subscriber)
         # Per-sub-tree link-matching state for the factored matcher; the

@@ -54,6 +54,9 @@ class BaselineConfig:
     shard_workers: int = 0
     #: Kernel execution backend (None = engine default).
     backend: Optional[str] = None
+    #: Compress the subscription set with the covering forest
+    #: (:mod:`repro.matching.aggregation`) before compilation.
+    aggregate: bool = False
 
 
 def run_baseline_comparison(config: BaselineConfig = BaselineConfig()) -> ExperimentTable:
@@ -93,6 +96,7 @@ def run_baseline_comparison(config: BaselineConfig = BaselineConfig()) -> Experi
             shard_policy=config.shard_policy,
             shard_workers=config.shard_workers,
             backend=config.backend,
+            aggregate=config.aggregate,
         )
         protocols: List[RoutingProtocol] = [
             LinkMatchingProtocol(context),

@@ -47,6 +47,9 @@ class BurstyConfig:
     shard_workers: int = 0
     #: Kernel execution backend (None = engine default).
     backend: Optional[str] = None
+    #: Compress the subscription set with the covering forest
+    #: (:mod:`repro.matching.aggregation`) before compilation.
+    aggregate: bool = False
     #: Optional path: write the global obs-registry JSON snapshot here.
     metrics_out: Optional[str] = None
 
@@ -86,6 +89,7 @@ def _run_bursty(config: BurstyConfig) -> ExperimentTable:
         shard_policy=config.shard_policy,
         shard_workers=config.shard_workers,
         backend=config.backend,
+        aggregate=config.aggregate,
     )
     protocol = LinkMatchingProtocol(context)
     publishers = topology.publishers()

@@ -60,6 +60,9 @@ class Chart1Config:
     shard_workers: int = 0
     #: Kernel execution backend (None = engine default).
     backend: Optional[str] = None
+    #: Compress the subscription set with the covering forest
+    #: (:mod:`repro.matching.aggregation`) before compilation.
+    aggregate: bool = False
     #: Optional path: write the global obs-registry JSON snapshot here.
     metrics_out: Optional[str] = None
 
@@ -141,6 +144,7 @@ def _run_chart1(config: Chart1Config) -> ExperimentTable:
             shard_policy=config.shard_policy,
             shard_workers=config.shard_workers,
             backend=config.backend,
+            aggregate=config.aggregate,
         )
         for protocol in _protocols(context, config):
             result = saturation_for(topology, protocol, events, config)

@@ -54,6 +54,9 @@ class Chart2Config:
     shard_workers: int = 0
     #: Kernel execution backend (None = engine default).
     backend: Optional[str] = None
+    #: Compress the subscription set with the covering forest
+    #: (:mod:`repro.matching.aggregation`) before compilation.
+    aggregate: bool = False
     #: Optional path: write the global obs-registry JSON snapshot here.
     metrics_out: Optional[str] = None
 
@@ -139,6 +142,7 @@ def _run_chart2(config: Chart2Config) -> ExperimentTable:
             shard_policy=config.shard_policy,
             shard_workers=config.shard_workers,
             backend=config.backend,
+            aggregate=config.aggregate,
         )
         for subscription in subscriptions:
             network.subscribe(subscription.subscriber, subscription.predicate)

@@ -45,6 +45,9 @@ class ThroughputConfig:
     shard_workers: int = 0
     #: Kernel execution backend (None = engine default).
     backend: Optional[str] = None
+    #: Compress the subscription set with the covering forest
+    #: (:mod:`repro.matching.aggregation`) before compilation.
+    aggregate: bool = False
     #: Optional path: write the global obs-registry JSON snapshot here.
     metrics_out: Optional[str] = None
 
@@ -88,6 +91,7 @@ def _run_throughput(config: ThroughputConfig) -> ExperimentTable:
             shard_policy=config.shard_policy,
             shard_workers=config.shard_workers,
             backend=config.backend,
+            aggregate=config.aggregate,
         )
         transport = InMemoryTransport()
         node = BrokerNode(broker_config, "B0", transport, {"B0": "mem://B0"})
@@ -126,6 +130,7 @@ def _run_throughput(config: ThroughputConfig) -> ExperimentTable:
             shard_policy=config.shard_policy,
             shard_workers=config.shard_workers,
             backend=config.backend,
+            aggregate=config.aggregate,
         )
         for subscription in node.router.matcher.subscriptions:
             engine.matcher.insert(subscription)

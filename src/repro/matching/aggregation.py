@@ -1,0 +1,579 @@
+"""Online subscription aggregation: covering forest + compressed compilation.
+
+At 10^6+ subscriptions the bottleneck of the compiled matcher shifts from
+walking the program to the program's *size*: the record arrays grow with the
+number of subscribers even though real workloads register the same few
+predicate bodies over and over (Zipf-skewed interests).  This module shrinks
+the subscription set *before* compilation, SIENA-style, with two mechanisms
+layered between ingest and the compiled/sharded engines:
+
+**Canonical deduplication.**  Every incoming predicate is canonicalized with
+the exact per-attribute containment algebra of
+:mod:`repro.matching.subsumption` — strict integer bounds close
+(``x < 4`` ≡ ``x <= 3``) and one-sided ranges normalize to intervals — so
+predicates that accept the same events hash identically.  Subscriptions with
+an identical canonical body join one *group* carrying a subscriber set; only
+the group's **representative** subscription enters the inner engine, so the
+``CompiledProgram`` record arrays grow with *distinct* predicates, not
+subscribers.
+
+**Incremental covering forest.**  Groups are linked into a forest by the
+covering relation (:func:`~repro.matching.subsumption.predicate_subsumes`):
+a group whose predicate is covered by another hangs *under* it and is not
+compiled at all — only forest roots have representatives in the inner
+engine.  Insert and remove are incremental: a new group descends from the
+covering root (demoting any siblings it covers), and removing the last
+member of a covering parent promotes its children back to compiled roots.
+No rebuild, ever.  The cover search is bounded
+(:data:`DEFAULT_COVER_SCAN_LIMIT`): past the limit new groups simply become
+roots — covering is a best-effort *compressor*, so missing a relation costs
+compression, never correctness.
+
+**Engine-boundary expansion.**  The inner engine matches over deduplicated
+leaves; expansion back to subscriber sets happens here:
+
+* :meth:`AggregatingEngine.match` — matched representatives expand to their
+  group's members, then the forest descends into covered children, pruning
+  whole subtrees whose predicate rejects the event.  Steps are the inner
+  engine's (attributed to the covering leaf) plus one per child group
+  evaluated during descent.
+* :meth:`AggregatingEngine.match_links` — the inner refinement runs over
+  the deduplicated leaves: each representative's leaf annotation is the
+  *union* of its members' link bits (the multi-position
+  ``LinkOfSubscriber`` contract of
+  :meth:`~repro.matching.compile.CompiledProgram.annotate`), so for forests
+  without covered children (pure deduplication) the inner mask is already
+  exact.  Covered descendants contribute their members' links through a
+  forest descent, intersected with the initialization mask's Maybe bits —
+  final masks are bit-for-bit the unaggregated engine's.
+
+Membership changes that leave the tree untouched (a dedup hit, removing one
+of several members) refresh the leaf annotation through the engines'
+``refresh_links`` path — a path re-annotation plus surgical cache repair,
+not a rebuild.  Everything downstream — trit annotations,
+:class:`~repro.matching.compile.ProjectionCache`, surgical shard-cache
+repair, batching, and all three kernel backends — runs unchanged over the
+compressed program.
+
+Observability: ``match.aggregation.compression_ratio`` (subscriptions per
+compiled leaf), ``match.aggregation.forest_nodes`` (live groups), and
+``match.aggregation.dedup_hits`` (inserts absorbed without touching the
+inner engine).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SubscriptionError
+from repro.core.annotation import LinkOfSubscriber
+from repro.core.link_matcher import LinkMatchResult
+from repro.core.trits import TritVector, pack_tritvector, unpack_tritvector
+from repro.matching.base import MatcherEngine
+from repro.matching.compile import ProjectionCache
+from repro.matching.events import Event
+from repro.matching.predicates import Predicate, RangeTest, Subscription
+from repro.matching.pst import MatchResult
+from repro.matching.subsumption import (
+    _as_interval,
+    _canonicalize_integer_bounds,
+    predicate_subsumes,
+)
+from repro.obs import get_registry
+
+#: Cover searches scan at most this many sibling groups per level.  Past the
+#: limit a new group becomes a root without looking for (or demoting) covers
+#: — deduplication stays O(1) and exact, covering compression degrades
+#: gracefully.  Correctness never depends on the forest shape.
+DEFAULT_COVER_SCAN_LIMIT = 512
+
+#: Entries in the descent cache (event values -> matching groups).  Flushed
+#: wholesale on every churn op, mirroring the inner engine's cache policy.
+DESCENT_CACHE_CAPACITY = 4096
+
+#: Subscriber identity of the sentinel representatives registered with the
+#: inner engine.  Representatives never reach users: matching expands them
+#: to members, ``subscriptions`` lists members only.
+REPRESENTATIVE_SUBSCRIBER = "<aggregate>"
+
+def canonicalize_predicate(predicate: Predicate) -> Predicate:
+    """The canonical form under which identical-acceptance predicates unify.
+
+    Per attribute: strict integer bounds close
+    (:func:`~repro.matching.subsumption._canonicalize_integer_bounds`), then
+    one-sided range tests normalize to intervals
+    (:func:`~repro.matching.subsumption._as_interval`) — so ``x < 4`` and
+    ``x <= 3`` over an INTEGER attribute produce the *same* test object
+    value, and :class:`~repro.matching.predicates.Predicate` hashing makes
+    the group lookup a dict probe.  Equality tests and don't-cares are
+    already canonical.  The canonical predicate accepts exactly the same
+    events as the original.
+    """
+    tests = {}
+    changed = False
+    for attribute, test in zip(predicate.schema.attributes, predicate.tests):
+        if test.is_dont_care:
+            continue
+        canonical = _canonicalize_integer_bounds(attribute, test)
+        if isinstance(canonical, RangeTest):
+            interval = _as_interval(canonical)
+            if interval is not None:
+                canonical = interval
+        if canonical is not test:
+            changed = True
+        tests[attribute.name] = canonical
+    if not changed:
+        return predicate
+    return Predicate(predicate.schema, tests)
+
+
+class _Group:
+    """One distinct canonical predicate: its members and forest links.
+
+    ``representative`` is the sentinel subscription registered with the
+    inner engine *while the group is a root*; covered (non-root) groups are
+    not compiled at all and are reached by forest descent.
+    """
+
+    __slots__ = ("canonical", "representative", "members", "children", "parent")
+
+    def __init__(self, canonical: Predicate, subscription: Subscription) -> None:
+        self.canonical = canonical
+        self.representative = Subscription(
+            canonical,
+            REPRESENTATIVE_SUBSCRIBER,
+            # Representatives draw from the global id counter like any other
+            # subscription (ids must be unique within the inner engine).
+        )
+        self.members: Dict[int, Subscription] = {
+            subscription.subscription_id: subscription
+        }
+        self.children: List["_Group"] = []
+        self.parent: Optional["_Group"] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"_Group({self.canonical.describe()!r}, {len(self.members)} members, "
+            f"{len(self.children)} children, root={self.parent is None})"
+        )
+
+
+class AggregatingEngine(MatcherEngine):
+    """Covering-forest aggregation in front of a compiled or sharded engine.
+
+    Exposes the full :class:`~repro.matching.base.MatcherEngine` surface;
+    match sets, brute-force sets, and refined link masks are exactly the
+    wrapped engine's *without* aggregation (the property suite in
+    ``tests/property/test_prop_aggregation.py`` pins this down).  Step
+    counts are attributed to the deduplicated leaves: the inner engine's
+    count plus one step per covered group evaluated during forest descent.
+
+    Construct directly around an engine instance, or through
+    :func:`~repro.matching.engines.create_engine` with ``aggregate=True``.
+    """
+
+    name = "aggregating"
+
+    def __init__(
+        self, inner: MatcherEngine, *, cover_scan_limit: int = DEFAULT_COVER_SCAN_LIMIT
+    ) -> None:
+        if not hasattr(inner, "refresh_links"):
+            raise SubscriptionError(
+                f"engine {inner.name!r} cannot refresh leaf link annotations "
+                "in place — aggregation requires the compiled or sharded engine"
+            )
+        self.inner = inner
+        self.schema = inner.schema
+        self.cover_scan_limit = cover_scan_limit
+        #: canonical predicate -> group, for every live group.
+        self._groups: Dict[Predicate, _Group] = {}
+        #: canonical predicate -> group, roots only (insertion-ordered).
+        self._roots: Dict[Predicate, _Group] = {}
+        #: member subscription_id -> owning group.
+        self._group_of: Dict[int, _Group] = {}
+        #: representative subscription_id -> group (roots only).
+        self._rep_group: Dict[int, _Group] = {}
+        self._num_links: Optional[int] = None
+        self._link_of: Optional[LinkOfSubscriber] = None
+        self._descent_cache = ProjectionCache(
+            DESCENT_CACHE_CAPACITY, kind="aggregation"
+        )
+        self.dedup_hits = 0
+        registry = get_registry()
+        self._obs_dedup = registry.counter("match.aggregation.dedup_hits")
+        self._obs_forest_nodes = registry.gauge("match.aggregation.forest_nodes")
+        self._obs_compression = registry.gauge("match.aggregation.compression_ratio")
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        """The registered *member* subscriptions (representatives excluded)."""
+        return [
+            member
+            for group in self._groups.values()
+            for member in group.members.values()
+        ]
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._group_of)
+
+    @property
+    def forest_nodes(self) -> int:
+        """Live groups (distinct canonical predicates)."""
+        return len(self._groups)
+
+    @property
+    def root_count(self) -> int:
+        """Groups compiled into the inner engine (distinct leaves)."""
+        return len(self._roots)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Registered subscriptions per compiled leaf (>= 1.0)."""
+        return len(self._group_of) / max(1, len(self._roots))
+
+    def group_of(self, subscription_id: int) -> Tuple[Predicate, int, bool]:
+        """(canonical predicate, member count, is_root) for a registration —
+        introspection for tests and diagnostics."""
+        group = self._group_of.get(subscription_id)
+        if group is None:
+            raise SubscriptionError(f"unknown subscription id {subscription_id}")
+        return group.canonical, len(group.members), group.parent is None
+
+    def match_brute_force(self, event: Event) -> List[Subscription]:
+        """Reference semantics: evaluate every member predicate directly."""
+        return [
+            member
+            for group in self._groups.values()
+            for member in group.members.values()
+            if member.predicate.matches(event)
+        ]
+
+    # ------------------------------------------------------------------
+    # Churn (incremental — no forest rebuild)
+
+    def insert(self, subscription: Subscription) -> None:
+        subscription_id = subscription.subscription_id
+        if subscription_id in self._group_of:
+            raise SubscriptionError(
+                f"subscription #{subscription_id} is already registered"
+            )
+        if not subscription.predicate.is_satisfiable:
+            # Mirror the tree's refusal exactly — aggregation must not
+            # silently absorb what the unaggregated engine rejects.
+            raise SubscriptionError(
+                f"refusing to register unsatisfiable predicate "
+                f"{subscription.predicate.describe()!r}"
+            )
+        canonical = canonicalize_predicate(subscription.predicate)
+        group = self._groups.get(canonical)
+        if group is not None:
+            # Dedup hit: the compiled arrays do not move at all.
+            group.members[subscription_id] = subscription
+            self._group_of[subscription_id] = group
+            self.dedup_hits += 1
+            self._obs_dedup.inc()
+            self._membership_changed(group)
+        else:
+            group = _Group(canonical, subscription)
+            self._groups[canonical] = group
+            self._group_of[subscription_id] = group
+            self._attach(group)
+        self._update_gauges()
+
+    def remove(self, subscription_id: int) -> Subscription:
+        group = self._group_of.pop(subscription_id, None)
+        if group is None:
+            raise SubscriptionError(f"unknown subscription id {subscription_id}")
+        subscription = group.members.pop(subscription_id)
+        if group.members:
+            # The group survives; only its link union may have shrunk.
+            self._membership_changed(group)
+        else:
+            self._dissolve(group)
+        self._update_gauges()
+        return subscription
+
+    def _attach(self, group: _Group) -> None:
+        """Place a fresh group in the forest: descend from a covering root,
+        demote any siblings the new predicate covers, and register the
+        representative with the inner engine iff the group lands at a root."""
+        parent: Optional[_Group] = None
+        siblings = self._roots
+        while True:
+            cover = self._covering_in(siblings.values() if parent is None else siblings, group)
+            if cover is None:
+                break
+            parent = cover
+            siblings = parent.children
+        demoted = self._covered_in(
+            siblings.values() if parent is None else siblings, group
+        )
+        for sibling in demoted:
+            if parent is None:
+                del self._roots[sibling.canonical]
+                self.inner.remove(sibling.representative.subscription_id)
+                del self._rep_group[sibling.representative.subscription_id]
+            else:
+                parent.children.remove(sibling)
+            sibling.parent = group
+            group.children.append(sibling)
+        group.parent = parent
+        if parent is None:
+            self._roots[group.canonical] = group
+            self._register_root(group)
+        else:
+            parent.children.append(group)
+
+    def _covering_in(self, groups, group: _Group) -> Optional[_Group]:
+        """A group among ``groups`` that covers ``group`` (bounded scan)."""
+        canonical = group.canonical
+        for scanned, candidate in enumerate(groups):
+            if scanned >= self.cover_scan_limit:
+                return None
+            if candidate is group:
+                continue
+            if predicate_subsumes(candidate.canonical, canonical):
+                return candidate
+        return None
+
+    def _covered_in(self, groups, group: _Group) -> List[_Group]:
+        """Groups among ``groups`` that ``group`` covers (bounded scan)."""
+        canonical = group.canonical
+        covered: List[_Group] = []
+        for scanned, candidate in enumerate(groups):
+            if scanned >= self.cover_scan_limit:
+                break
+            if candidate is group:
+                continue
+            if predicate_subsumes(canonical, candidate.canonical):
+                covered.append(candidate)
+        return covered
+
+    def _register_root(self, group: _Group) -> None:
+        self._rep_group[group.representative.subscription_id] = group
+        self.inner.insert(group.representative)
+
+    def _dissolve(self, group: _Group) -> None:
+        """Remove an emptied group, promoting or reparenting its children."""
+        del self._groups[group.canonical]
+        parent = group.parent
+        if parent is None:
+            del self._roots[group.canonical]
+            self.inner.remove(group.representative.subscription_id)
+            del self._rep_group[group.representative.subscription_id]
+            # Children lose their covering parent: each becomes a root and
+            # compiles its own representative (its subtree stays intact —
+            # covering within the subtree still holds).
+            for child in group.children:
+                child.parent = None
+                self._roots[child.canonical] = child
+                self._register_root(child)
+        else:
+            # A covered group's children are covered by the grandparent too
+            # (covering is transitive), so they reattach one level up.
+            parent.children.remove(group)
+            for child in group.children:
+                child.parent = parent
+                parent.children.append(child)
+        group.children = []
+
+    def _membership_changed(self, group: _Group) -> None:
+        """After a membership-only change: refresh the compiled leaf's link
+        union in place.  Only roots have compiled leaves, and only bound
+        links have annotations to go stale."""
+        if group.parent is not None or self._link_of is None:
+            return
+        self.inner.refresh_links(group.representative)
+
+    def _update_gauges(self) -> None:
+        # Every churn op lands here; cached descents may reference removed
+        # groups or miss new ones, so the whole cache goes (the inner
+        # engine's caches apply the same wholesale policy on its churn).
+        self._descent_cache.flush()
+        self._obs_forest_nodes.set(len(self._groups))
+        self._obs_compression.set(self.compression_ratio)
+
+    def invalidate(self) -> None:
+        """Drop the inner engine's compiled form (forest state is exact and
+        survives; the next match recompiles the deduplicated leaves)."""
+        self._descent_cache.flush()
+        self.inner.invalidate()
+
+    def close(self) -> None:
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "AggregatingEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Matching (expansion at the engine boundary)
+
+    def _descend(self, event: Event, inner_result: Optional[MatchResult] = None):
+        """The matching *groups* for an event: the inner engine's matched
+        roots plus every covered descendant whose canonical predicate
+        accepts the event (one step per descendant evaluated; a rejecting
+        descendant prunes its whole subtree).
+
+        Served from a projection-keyed LRU (flushed on every churn op, like
+        the inner engine's own caches): covering descent re-evaluates
+        predicates, so on warm Zipf event streams the cache is what keeps
+        the aggregated engine's per-event cost at the deduplicated leaves'
+        level.  Returns a mutable entry
+        ``[groups, inner_steps, descent_steps, members_memo, bits_memo]`` —
+        the memo slots start ``None`` and are filled lazily by
+        :meth:`_expand` / :meth:`_descendant_link_bits`.  Memoizing on the
+        entry is safe because every churn op flushes the cache, so group
+        membership is frozen for an entry's lifetime.
+        """
+        key = event.as_tuple()
+        cached = self._descent_cache.get(key)
+        if cached is not None:
+            return cached
+        if inner_result is None:
+            inner_result = self.inner.match(event)
+        groups: List[_Group] = []
+        steps = 0
+        stack: List[_Group] = []
+        for representative in inner_result.subscriptions:
+            group = self._rep_group.get(representative.subscription_id)
+            if group is None:
+                raise SubscriptionError(
+                    f"inner engine returned non-representative {representative!r}"
+                )
+            groups.append(group)
+            stack.extend(group.children)
+        while stack:
+            child = stack.pop()
+            steps += 1
+            if child.canonical.matches(event):
+                groups.append(child)
+                stack.extend(child.children)
+        entry = [groups, inner_result.steps, steps, None, None]
+        self._descent_cache.put(key, entry)
+        return entry
+
+    @staticmethod
+    def _expand(entry) -> List[Subscription]:
+        """The entry's groups expanded to members, memoized on the entry so
+        a warm cache hit costs one probe, not a rebuild of the match set."""
+        matched = entry[3]
+        if matched is None:
+            matched = []
+            for group in entry[0]:
+                matched.extend(group.members.values())
+            entry[3] = matched
+        return matched
+
+    def match(self, event: Event) -> MatchResult:
+        entry = self._descend(event)
+        return MatchResult(self._expand(entry), entry[1] + entry[2])
+
+    def match_batch(self, events: Sequence[Event]) -> List[MatchResult]:
+        inner_results = self.inner.match_batch(events)
+        results: List[MatchResult] = []
+        for event, result in zip(events, inner_results):
+            entry = self._descend(event, result)
+            results.append(MatchResult(self._expand(entry), entry[1] + entry[2]))
+        return results
+
+    # ------------------------------------------------------------------
+    # Link matching (masks over the deduplicated leaves)
+
+    def bind_links(self, num_links: int, link_of_subscriber: LinkOfSubscriber) -> None:
+        self._num_links = num_links
+        self._link_of = link_of_subscriber
+        # Cached entries may carry link bits memoized under the old binding.
+        self._descent_cache.flush()
+        self.inner.bind_links(num_links, self._links_of_representative)
+
+    def _links_of_representative(
+        self, representative: Subscription
+    ) -> Union[int, Tuple[int, ...]]:
+        """The multi-position ``LinkOfSubscriber`` handed to the inner
+        engine: a deduplicated leaf lights the union of its members' links
+        (unreachable members contribute nothing)."""
+        group = self._rep_group.get(representative.subscription_id)
+        if group is None or self._link_of is None:
+            return -1
+        positions = set()
+        for member in group.members.values():
+            position = self._link_of(member)
+            if position >= 0:
+                positions.add(position)
+        return tuple(sorted(positions))
+
+    def _descendant_link_bits(self, event: Event) -> Tuple[int, int]:
+        """Link bits owed by *covered* groups whose predicate matches the
+        event (roots' bits already live in the compiled leaf annotations).
+        Rides the cached descent and memoizes on its entry — both the inner
+        match and the forest walk are projection-cache-served on warm
+        streams.  Returns ``(link_bits, descent_steps)``."""
+        assert self._link_of is not None
+        entry = self._descend(event)
+        bits = entry[4]
+        if bits is None:
+            bits = 0
+            for group in entry[0]:
+                if group.parent is None:
+                    continue
+                for member in group.members.values():
+                    position = self._link_of(member)
+                    if position >= 0:
+                        bits |= 1 << position
+            entry[4] = bits
+        return bits, entry[2]
+
+    def match_links(
+        self, event: Event, initialization_mask: TritVector
+    ) -> LinkMatchResult:
+        result = self.inner.match_links(event, initialization_mask)
+        if len(self._groups) == len(self._roots):
+            # Pure deduplication (no covered groups): the inner refinement
+            # over the deduplicated leaves is already exact.
+            return result
+        assert self._num_links is not None
+        _yes_bits, maybe_bits = pack_tritvector(initialization_mask)
+        extra_bits, descent_steps = self._descendant_link_bits(event)
+        final_yes, _ = pack_tritvector(result.mask)
+        merged = final_yes | (extra_bits & maybe_bits)
+        return LinkMatchResult(
+            unpack_tritvector(merged, 0, self._num_links),
+            result.steps + descent_steps,
+        )
+
+    def match_links_batch(
+        self, events: Sequence[Event], initialization_mask: TritVector
+    ) -> List[LinkMatchResult]:
+        results = self.inner.match_links_batch(events, initialization_mask)
+        if len(self._groups) == len(self._roots):
+            return results
+        assert self._num_links is not None
+        _yes_bits, maybe_bits = pack_tritvector(initialization_mask)
+        merged: List[LinkMatchResult] = []
+        for event, result in zip(events, results):
+            extra_bits, descent_steps = self._descendant_link_bits(event)
+            final_yes, _ = pack_tritvector(result.mask)
+            merged_yes = final_yes | (extra_bits & maybe_bits)
+            merged.append(
+                LinkMatchResult(
+                    unpack_tritvector(merged_yes, 0, self._num_links),
+                    result.steps + descent_steps,
+                )
+            )
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"AggregatingEngine({len(self._group_of)} subscriptions -> "
+            f"{len(self._roots)} compiled leaves, {len(self._groups)} groups, "
+            f"inner={self.inner!r})"
+        )

@@ -11,10 +11,12 @@ this module never pickles a program per call.  Instead the parent
 :mod:`multiprocessing.shared_memory` segment and thereafter sends only tiny
 work orders over a pipe:
 
-* **Publication** — :meth:`ProcPoolExecutor.publish` serializes a
-  :class:`ProgramImage` payload (the fused records with leaf subscriptions
-  replaced by their integer ids, the value-interning table, and the packed
-  annotation arrays) into a fresh shared-memory segment.  Publications are
+* **Publication** — :meth:`ProcPoolExecutor.publish` writes the program
+  into a fresh shared-memory segment in the *packed image* format (see
+  :func:`pack_image`): the structural columns, CSR pools, and annotation
+  masks are real typed int64/uint64 buffers that workers view **in place**
+  via ``memoryview.cast`` — only the value-interning dict and range-test
+  objects ride in a small pickle section.  Publications are
   keyed by ``(program_uid, generation)``: churn that patches or re-annotates
   a shard bumps its program's generation, and the next dispatch republishes
   that shard under a new segment name while unlinking the old one.  An
@@ -53,6 +55,7 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import traceback
+from array import array
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Tuple
 
@@ -89,14 +92,16 @@ class ProgramImage:
         "ann_maybe",
         "generation",
         "backend_state",
+        "_views",
     )
 
     def __init__(
         self,
         records: List[tuple],
         value_ids: Dict[object, int],
-        ann_yes: List[int],
-        ann_maybe: List[int],
+        ann_yes,
+        ann_maybe,
+        views: Tuple[memoryview, ...] = (),
     ) -> None:
         self._records = records
         self.value_ids = value_ids
@@ -107,26 +112,227 @@ class ProgramImage:
         # backend's columnar index) is keyed per image, never across images.
         self.generation = 0
         self.backend_state: Dict[str, object] = {}
+        # Typed views into the shared-memory segment (the annotation arrays
+        # are indexed in place, never copied).  They pin the buffer: release()
+        # must run before the segment handle can close.
+        self._views = views
+
+    def release(self) -> None:
+        """Drop the image's views into shared memory so the segment handle
+        can be closed (``SharedMemory.close`` raises ``BufferError`` while
+        exported views exist)."""
+        for view in self._views:
+            view.release()
+        self._views = ()
 
 
-def _image_payload(program) -> bytes:
-    """Pickle ``program``'s record surface with leaf subs as id tuples."""
-    records = [
-        record
-        if record[4] is None
-        else (
-            record[0],
-            record[1],
-            record[2],
-            record[3],
-            tuple(sub.subscription_id for sub in record[4]),
+# ---------------------------------------------------------------------------
+# Packed program image
+#
+# The published payload is not one pickle blob: the structural columns of the
+# program — per-node event position / star child, the CSR offsets, the
+# value-table and leaf-subscription pools, and the packed annotation masks —
+# are written as real int64/uint64 buffers that workers view *in place*
+# through ``memoryview.cast``.  Only the parts with no fixed-width shape
+# (the value-interning dict and the range-test objects, plus annotation
+# masks too wide for 64 links) ride in a small pickle section.
+#
+# Layout (all byte offsets 8-aligned):
+#
+#   header   int64[8]: magic, version, flags, struct_off, struct_len,
+#                      ann_off, pickle_off, pickle_len
+#   struct   int64[]:  n, len_vt, len_rg, len_sub;
+#                      then per node: position, star, vt_start, vt_end,
+#                                     rg_start, rg_end, sub_start, sub_end;
+#                      then pools: vt_keys, vt_children, rg_children,
+#                                  rg_test_index, sub_ids
+#   ann      uint64[2n]: ann_yes then ann_maybe   (iff flags & _ANN_PACKED —
+#                        masks for >64 links fall back to the pickle section)
+#   pickle   pickle((value_ids, range_tests, ann_fallback_or_None))
+
+_IMAGE_MAGIC = 0x50494D47  # "PIMG"
+_IMAGE_VERSION = 1
+_ANN_PACKED = 1  # flags bit: annotation masks fit uint64 and are packed
+_RECORD_WIDTH = 8  # int64 slots per node in the struct section
+
+_U64_MAX = (1 << 64) - 1
+
+
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+def pack_image(program) -> bytes:
+    """Serialize ``program``'s record surface into the packed image format.
+
+    Leaf subscriptions are written as integer ids; the parent keeps the
+    id -> live-object map on its side of the pipe (see ``_Publication``).
+    """
+    struct_ints = array("q")
+    vt_keys = array("q")
+    vt_children = array("q")
+    rg_children = array("q")
+    rg_test_index = array("q")
+    sub_ids = array("q")
+    range_tests: List[object] = []
+    range_test_ids: Dict[int, int] = {}
+    per_node = array("q")
+    for record in program._records:
+        position, value_table, ranges, star, subs = record
+        vt_start = vt_end = len(vt_keys)
+        if value_table:
+            for value_id, child in value_table.items():
+                vt_keys.append(value_id)
+                vt_children.append(child)
+            vt_end = len(vt_keys)
+        rg_start = rg_end = len(rg_children)
+        if ranges:
+            for test, child in ranges:
+                test_index = range_test_ids.get(id(test))
+                if test_index is None:
+                    test_index = len(range_tests)
+                    range_tests.append(test)
+                    range_test_ids[id(test)] = test_index
+                rg_children.append(child)
+                rg_test_index.append(test_index)
+            rg_end = len(rg_children)
+        sub_start = sub_end = len(sub_ids)
+        if subs:
+            for sub in subs:
+                sub_ids.append(sub.subscription_id)
+            sub_end = len(sub_ids)
+        per_node.extend(
+            (position, star, vt_start, vt_end, rg_start, rg_end, sub_start, sub_end)
         )
-        for record in program._records
-    ]
-    return pickle.dumps(
-        (records, program.value_ids, list(program.ann_yes), list(program.ann_maybe)),
+    n = len(program._records)
+    struct_ints.extend((n, len(vt_keys), len(rg_children), len(sub_ids)))
+    struct_ints.extend(per_node)
+    struct_ints.extend(vt_keys)
+    struct_ints.extend(vt_children)
+    struct_ints.extend(rg_children)
+    struct_ints.extend(rg_test_index)
+    struct_ints.extend(sub_ids)
+
+    ann_yes = list(program.ann_yes)
+    ann_maybe = list(program.ann_maybe)
+    flags = 0
+    ann_packed = b""
+    ann_fallback: Optional[Tuple[List[int], List[int]]] = None
+    if all(0 <= mask <= _U64_MAX for mask in ann_yes) and all(
+        0 <= mask <= _U64_MAX for mask in ann_maybe
+    ):
+        flags |= _ANN_PACKED
+        ann_packed = array("Q", ann_yes + ann_maybe).tobytes()
+    else:  # more than 64 virtual links: arbitrary-precision masks
+        ann_fallback = (ann_yes, ann_maybe)
+    pickle_blob = pickle.dumps(
+        (program.value_ids, range_tests, ann_fallback),
         protocol=pickle.HIGHEST_PROTOCOL,
     )
+
+    struct_off = 64
+    struct_bytes = struct_ints.tobytes()
+    ann_off = _align8(struct_off + len(struct_bytes))
+    pickle_off = _align8(ann_off + len(ann_packed))
+    header = array(
+        "q",
+        (
+            _IMAGE_MAGIC,
+            _IMAGE_VERSION,
+            flags,
+            struct_off,
+            len(struct_ints),
+            ann_off,
+            pickle_off,
+            len(pickle_blob),
+        ),
+    )
+    out = bytearray(pickle_off + len(pickle_blob))
+    out[: len(header) * 8] = header.tobytes()
+    out[struct_off : struct_off + len(struct_bytes)] = struct_bytes
+    out[ann_off : ann_off + len(ann_packed)] = ann_packed
+    out[pickle_off : pickle_off + len(pickle_blob)] = pickle_blob
+    return bytes(out)
+
+
+def unpack_image(buf, size: int) -> ProgramImage:
+    """Reconstruct a :class:`ProgramImage` over a packed payload.
+
+    ``buf`` is the shared-memory buffer (or any buffer object).  The
+    annotation masks stay *in place* — ``ann_yes`` / ``ann_maybe`` are
+    ``uint64`` views into the segment, indexed directly by the kernels —
+    and the structural columns are read through typed views rather than
+    unpickled.  Call :meth:`ProgramImage.release` before closing the
+    segment handle.
+    """
+    base = memoryview(buf)
+    header = base[:64].cast("q")
+    if header[0] != _IMAGE_MAGIC or header[1] != _IMAGE_VERSION:
+        raise ProcPoolError(
+            f"bad program image (magic={header[0]:#x}, version={header[1]})"
+        )
+    flags, struct_off, struct_len, ann_off, pickle_off, pickle_len = (
+        header[2],
+        header[3],
+        header[4],
+        header[5],
+        header[6],
+        header[7],
+    )
+    struct = base[struct_off : struct_off + 8 * struct_len].cast("q")
+    n, len_vt, len_rg, len_sub = struct[0], struct[1], struct[2], struct[3]
+    cursor = 4 + n * _RECORD_WIDTH
+    vt_keys = struct[cursor : cursor + len_vt]
+    cursor += len_vt
+    vt_children = struct[cursor : cursor + len_vt]
+    cursor += len_vt
+    rg_children = struct[cursor : cursor + len_rg]
+    cursor += len_rg
+    rg_test_index = struct[cursor : cursor + len_rg]
+    cursor += len_rg
+    sub_ids = struct[cursor : cursor + len_sub]
+
+    value_ids, range_tests, ann_fallback = pickle.loads(
+        base[pickle_off : pickle_off + pickle_len]
+    )
+
+    records: List[tuple] = []
+    for index in range(n):
+        slot = 4 + index * _RECORD_WIDTH
+        position = struct[slot]
+        if position < 0:
+            sub_start, sub_end = struct[slot + 6], struct[slot + 7]
+            subs = tuple(sub_ids[sub_start:sub_end]) if sub_end > sub_start else None
+            records.append((-1, None, None, -1, subs))
+            continue
+        star = struct[slot + 1]
+        vt_start, vt_end = struct[slot + 2], struct[slot + 3]
+        value_table = (
+            {vt_keys[j]: vt_children[j] for j in range(vt_start, vt_end)}
+            if vt_end > vt_start
+            else None
+        )
+        rg_start, rg_end = struct[slot + 4], struct[slot + 5]
+        ranges = (
+            tuple(
+                (range_tests[rg_test_index[j]], rg_children[j])
+                for j in range(rg_start, rg_end)
+            )
+            if rg_end > rg_start
+            else None
+        )
+        records.append((position, value_table, ranges, star, None))
+
+    if flags & _ANN_PACKED:
+        ann = base[ann_off : ann_off + 16 * n].cast("Q")
+        ann_yes = ann[:n]
+        ann_maybe = ann[n:]
+        views: Tuple[memoryview, ...] = (ann_yes, ann_maybe, ann, struct, header, base)
+    else:
+        assert ann_fallback is not None
+        ann_yes, ann_maybe = ann_fallback
+        views = (struct, header, base)
+    return ProgramImage(records, value_ids, ann_yes, ann_maybe, views)
 
 
 def _worker_main(conn, kernel_name: str) -> None:
@@ -156,12 +362,10 @@ def _worker_main(conn, kernel_name: str) -> None:
                     cached = images.get(shard_index)
                     if cached is None or cached[0] != shm_name:
                         if cached is not None:
+                            cached[1].release()
                             cached[2].close()
                         shm = shared_memory.SharedMemory(name=shm_name)
-                        records, value_ids, ann_yes, ann_maybe = pickle.loads(
-                            bytes(shm.buf[:size])
-                        )
-                        image = ProgramImage(records, value_ids, ann_yes, ann_maybe)
+                        image = unpack_image(shm.buf, size)
                         images[shard_index] = (shm_name, image, shm)
                     else:
                         image = cached[1]
@@ -182,7 +386,8 @@ def _worker_main(conn, kernel_name: str) -> None:
     except KeyboardInterrupt:
         pass
     finally:
-        for _name, _image, shm in images.values():
+        for _name, image, shm in images.values():
+            image.release()
             shm.close()
         conn.close()
 
@@ -250,7 +455,7 @@ class ProcPoolExecutor:
         current = self._published.get(shard_index)
         if current is not None and current.key == key:
             return current
-        payload = _image_payload(program)
+        payload = pack_image(program)
         shm = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
         shm.buf[: len(payload)] = payload
         sub_by_id: Dict[int, object] = {}

@@ -49,19 +49,38 @@ import anywhere on that path).  Both paths read only the program's record
 surface, so they also run inside procpool workers over a
 :class:`~repro.matching.backends.procpool.ProgramImage`.
 
+The link refinement (Section 3.3) is different: its early exits depend on
+the mask accumulated *so far*, so the search itself is inherently
+sequential and cannot be frontier-vectorized without changing the step
+counts the property suite pins.  The native link kernels therefore split
+the work: the **columnar walk answers edge acceptance** — one level-major
+pass per 64-event chunk produces, per node, the bitmask of events whose
+match walk reaches it — and a per-event **DFS replay** then re-runs
+``interp``'s exact frame machine, answering "is this child applicable?"
+with one bit test instead of a table lookup / ``evaluate`` call.  The
+replay enters the same nodes in the same order with the same early exits,
+so refined masks *and* step counts are bit-for-bit ``interp``'s.  (The
+edge-acceptance identity: the DFS only asks about children of nodes it
+entered, every entered node lies on an accepted path, and a child's reach
+bit is exactly "parent reached AND edge accepts" — so filtering the
+record-ordered child list by reach bits reproduces ``interp``'s child
+list verbatim.)
+
 The derived columnar index is cached in ``program.backend_state`` keyed by
 ``program.generation``; any patch or re-annotation bumps the generation and
-the next batch rebuilds it lazily.  Single-event kernels and the (inherently
-sequential) link refinement delegate to ``interp`` — vectorization pays off
-across a batch, not within one event's walk.
+the next batch rebuilds it lazily.  The single-event ``match`` delegates to
+``interp`` — vectorization pays off across a batch, not within one event's
+walk — while single-event ``match_links`` runs as a batch of one through
+the native path.
 """
 
 from __future__ import annotations
 
 from array import array
 from operator import itemgetter
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.errors import RoutingError
 from repro.matching.backends import KernelBackend
 from repro.matching.backends.interp import InterpBackend
 
@@ -72,6 +91,9 @@ except ImportError:  # pragma: no cover - exercised via force_fallback tests
 
 #: ``backend_state`` slot the columnar index lives under.
 _STATE_KEY = "vector.index"
+
+#: ``backend_state`` slot the link-replay child lists live under.
+_LINKS_STATE_KEY = "vector.links"
 
 #: Numpy-kernel chunk width: one event per uint64 mask bit.
 _CHUNK = 64
@@ -179,25 +201,277 @@ class VectorBackend(KernelBackend):
         self._np = None if force_fallback else _np
         self._interp = InterpBackend()
 
-    # -- single-event + link kernels: delegation ------------------------
-    # A single event has nothing to vectorize over, and the Section 3.3
-    # refinement is sequential by construction (every early exit depends on
-    # the mask accumulated so far), so these are interp's loops verbatim.
+    # -- single-event match: delegation ---------------------------------
+    # A single event's match walk has nothing to vectorize over, so this is
+    # interp's loop verbatim.
 
     def match(self, program, values: tuple) -> Tuple[list, int]:
         return self._interp.match(program, values)
 
+    # -- link kernels: columnar reach + exact DFS replay ----------------
+
     def match_links(
         self, program, values: tuple, yes_bits: int, maybe_bits: int
     ) -> Tuple[int, int]:
-        return self._interp.match_links(program, values, yes_bits, maybe_bits)
+        return self.match_links_batch(program, (values,), yes_bits, maybe_bits)[0]
 
     def match_links_batch(
         self, program, value_tuples: Sequence[tuple], yes_bits: int, maybe_bits: int
     ) -> List[Tuple[int, int]]:
-        return self._interp.match_links_batch(
-            program, value_tuples, yes_bits, maybe_bits
-        )
+        """Native link refinement (see the module docstring): per chunk, the
+        columnar walk computes each node's reached-by bitmask, then a DFS
+        replay per event re-runs interp's frame machine over bit tests.
+        Masks and step counts are bit-for-bit the interp kernel's."""
+        if not value_tuples:
+            return []
+        child_lists = self._link_child_lists(program)
+        results: List[Tuple[int, int]] = []
+        for offset in range(0, len(value_tuples), _CHUNK):
+            chunk = value_tuples[offset : offset + _CHUNK]
+            if self._np is None:
+                reach = self._reach_columns(program, chunk)
+            else:
+                reach = self._reach_chunk_numpy(program, chunk)
+            for e, values in enumerate(chunk):
+                results.append(
+                    self._replay_links(
+                        program, child_lists, reach, 1 << e, yes_bits, maybe_bits
+                    )
+                )
+        return results
+
+    def _link_child_lists(self, program) -> List[Optional[Tuple[int, ...]]]:
+        """Per node, the children in interp's visit order (value-table
+        children first, then range children in slice order, then star) —
+        ``None`` marks a leaf.  At most one value child holds any given
+        event's reach bit, so filtering this list by reach bits yields
+        exactly interp's applicable-children list."""
+        state = program.backend_state
+        cached = state.get(_LINKS_STATE_KEY)
+        if cached is not None and cached[0] == program.generation:
+            return cached[1]
+        child_lists: List[Optional[Tuple[int, ...]]] = []
+        for record in program._records:
+            position, table, ranges, star_child, _subs = record
+            if position < 0:
+                child_lists.append(None)
+                continue
+            children: List[int] = []
+            if table is not None:
+                children.extend(table.values())
+            if ranges is not None:
+                children.extend(child for _test, child in ranges)
+            if star_child >= 0:
+                children.append(star_child)
+            child_lists.append(tuple(children))
+        state[_LINKS_STATE_KEY] = (program.generation, child_lists)
+        return child_lists
+
+    def _replay_links(
+        self,
+        program,
+        child_lists: List[Optional[Tuple[int, ...]]],
+        reach: List[int],
+        bit: int,
+        yes_bits: int,
+        maybe_bits: int,
+    ) -> Tuple[int, int]:
+        """Interp's refinement frame machine with edge acceptance answered
+        by reach-bit tests (same visits, same order, same early exits)."""
+        ann_yes = program.ann_yes
+        ann_maybe = program.ann_maybe
+        steps = 0
+        frames: List[list] = []
+        current = 0
+        cur_yes = yes_bits
+        cur_maybe = maybe_bits
+        returned_yes = 0
+        entering = True
+        while True:
+            if entering:
+                steps += 1
+                cur_yes |= cur_maybe & ann_yes[current]
+                cur_maybe &= ann_maybe[current]
+                if not cur_maybe:
+                    returned_yes = cur_yes
+                    entering = False
+                    continue
+                node_children = child_lists[current]
+                if node_children is None:
+                    raise RoutingError(
+                        "leaf annotation left Maybe trits — stale annotation?"
+                    )
+                children = [c for c in node_children if reach[c] & bit]
+                if not children:
+                    returned_yes = cur_yes
+                    entering = False
+                    continue
+                frames.append([children, 0, cur_yes, cur_maybe])
+                current = children[0]
+                continue
+            if not frames:
+                return returned_yes, steps
+            frame = frames[-1]
+            frame_maybe = frame[3]
+            frame_yes = frame[2] | (frame_maybe & returned_yes)
+            frame_maybe &= ~returned_yes
+            if not frame_maybe:
+                frames.pop()
+                returned_yes = frame_yes
+                continue
+            next_child = frame[1] + 1
+            children = frame[0]
+            if next_child == len(children):
+                frames.pop()
+                returned_yes = frame_yes
+                continue
+            frame[1] = next_child
+            frame[2] = frame_yes
+            frame[3] = frame_maybe
+            current = children[next_child]
+            cur_yes = frame_yes
+            cur_maybe = frame_maybe
+            entering = True
+
+    def _reach_chunk_numpy(self, program, value_tuples: Sequence[tuple]) -> List[int]:
+        """Per-node reached-by bitmasks for one <=64-event chunk, via the
+        same level-major frontier as the match kernel (minus leaf drains)."""
+        np = self._np
+        index = self._index(program)
+        n = len(value_tuples)
+        ids_get = program.value_ids.get
+        interned = [
+            [ids_get(value, -1) for value in values] for values in value_tuples
+        ]
+        num_vids = index.num_vids
+        width = index.width
+        full_mask = (1 << n) - 1
+        vid_mask_rows = [0] * (width * num_vids + 1)
+        vid_mask_rows[index.star_row] = full_mask
+        for e, row in enumerate(interned):
+            bit = 1 << e
+            base = 0
+            for p in range(width):
+                vid = row[p]
+                if vid >= 0:
+                    vid_mask_rows[base + vid] |= bit
+                base += num_vids
+        vid_masks = np.asarray(vid_mask_rows, dtype=np.uint64)
+        reach = [0] * len(program._records)
+        nodes = np.zeros(1, dtype=np.int64)
+        masks = np.full(1, full_mask, dtype=np.uint64)
+        positions_column = index.positions
+        edge_start = index.edge_start
+        edge_starts_hi = index.edge_starts_hi
+        edge_pvid = index.edge_pvid
+        edge_children = index.edge_children
+        any_ranges = index.any_ranges
+        while nodes.size:
+            for node, m in zip(nodes.tolist(), masks.tolist()):
+                reach[node] = m
+            positions = positions_column[nodes]
+            interior = positions >= 0
+            if not interior.all():
+                nodes = nodes[interior]
+                masks = masks[interior]
+                if not nodes.size:
+                    break
+                positions = positions[interior]
+            starts = edge_start[nodes]
+            counts = edge_starts_hi[nodes] - starts
+            total = int(counts.sum())
+            if total:
+                bounds = np.cumsum(counts)
+                edge_idx = np.arange(total, dtype=np.int64) + np.repeat(
+                    starts - (bounds - counts), counts
+                )
+                child_masks = np.repeat(masks, counts) & vid_masks[
+                    edge_pvid[edge_idx]
+                ]
+                hit = child_masks != 0
+                next_nodes = edge_children[edge_idx[hit]]
+                next_masks = child_masks[hit]
+            else:
+                next_nodes = next_masks = None
+            if any_ranges and index.has_ranges[nodes].any():
+                range_mask = index.has_ranges[nodes]
+                range_children: List[int] = []
+                range_masks: List[int] = []
+                for node, m, position in zip(
+                    nodes[range_mask].tolist(),
+                    masks[range_mask].tolist(),
+                    positions[range_mask].tolist(),
+                ):
+                    tests = index.range_lists[node]
+                    child_bits = [0] * len(tests)
+                    while m:
+                        low = m & -m
+                        m ^= low
+                        value = value_tuples[low.bit_length() - 1][position]
+                        for slot, (test, _child) in enumerate(tests):
+                            if test.evaluate(value):
+                                child_bits[slot] |= low
+                    for (_test, child), bits in zip(tests, child_bits):
+                        if bits:
+                            range_children.append(child)
+                            range_masks.append(bits)
+                if range_children:
+                    range_node_column = np.asarray(range_children, dtype=np.int64)
+                    range_mask_column = np.asarray(range_masks, dtype=np.uint64)
+                    if next_nodes is None:
+                        next_nodes = range_node_column
+                        next_masks = range_mask_column
+                    else:
+                        next_nodes = np.concatenate((next_nodes, range_node_column))
+                        next_masks = np.concatenate((next_masks, range_mask_column))
+            if next_nodes is None:
+                break
+            nodes = next_nodes
+            masks = next_masks
+        return reach
+
+    def _reach_columns(self, program, value_tuples: Sequence[tuple]) -> List[int]:
+        """Zero-dependency reach masks: the fallback's level-major walk with
+        per-``(node, event)`` entries, OR-ing each visit into the node's
+        bitmask."""
+        records = program._records
+        ids_get = program.value_ids.get
+        n = len(value_tuples)
+        interned = [
+            [ids_get(value, -1) for value in values] for values in value_tuples
+        ]
+        reach = [0] * len(records)
+        nodes = array("q", bytes(8 * n))
+        events = array("q", range(n))
+        while nodes:
+            next_nodes = array("q")
+            next_events = array("q")
+            push_node = next_nodes.append
+            push_event = next_events.append
+            for k in range(len(nodes)):
+                node = nodes[k]
+                e = events[k]
+                reach[node] |= 1 << e
+                position, table, ranges, star_child, _subs = records[node]
+                if position < 0:
+                    continue
+                if table is not None:
+                    child = table.get(interned[e][position])
+                    if child is not None:
+                        push_node(child)
+                        push_event(e)
+                if ranges is not None:
+                    value = value_tuples[e][position]
+                    for test, range_child in ranges:
+                        if test.evaluate(value):
+                            push_node(range_child)
+                            push_event(e)
+                if star_child >= 0:
+                    push_node(star_child)
+                    push_event(e)
+            nodes = next_nodes
+            events = next_events
+        return reach
 
     # -- the batched kernel ---------------------------------------------
 

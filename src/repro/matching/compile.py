@@ -100,7 +100,10 @@ from repro.obs import get_registry
 
 #: Maps a subscription to the broker-local (virtual) link position through
 #: which its subscriber is best reached (same contract as TreeAnnotation's).
-LinkOfSubscriber = Callable[[Subscription], int]
+#: An aggregating layer may instead return an *iterable* of positions — a
+#: deduplicated leaf stands for several subscribers, so its annotation is
+#: the union of their link bits (see :mod:`repro.matching.aggregation`).
+LinkOfSubscriber = Callable[[Subscription], Union[int, Sequence[int]]]
 
 #: Default capacity of each per-program projection cache; 0 disables caching.
 DEFAULT_MATCH_CACHE_CAPACITY = 4096
@@ -496,14 +499,19 @@ class CompiledProgram:
         assert self.num_links is not None and self._link_of_subscriber is not None
         yes = 0
         for subscription in self.subs_flat[self.sub_start[index] : self.sub_end[index]]:
-            position = self._link_of_subscriber(subscription)
-            if position < 0:
-                continue  # subscriber unreachable — no link to light
-            if position >= self.num_links:
-                raise RoutingError(
-                    f"link position {position} out of range for {subscription!r}"
-                )
-            yes |= 1 << position
+            mapped = self._link_of_subscriber(subscription)
+            # Plain engines map a subscription to one position; an
+            # aggregating layer maps a deduplicated leaf to the union of its
+            # member subscribers' positions.  -1 means unreachable either way.
+            positions = (mapped,) if isinstance(mapped, int) else mapped
+            for position in positions:
+                if position < 0:
+                    continue  # subscriber unreachable — no link to light
+                if position >= self.num_links:
+                    raise RoutingError(
+                        f"link position {position} out of range for {subscription!r}"
+                    )
+                yes |= 1 << position
         return yes, 0
 
     def _combined_annotation(self, index: int) -> Tuple[int, int]:

@@ -301,6 +301,23 @@ class CompiledEngine(_EngineBase):
         self._link_of_subscriber = link_of_subscriber
         self._annotation_dirty = True
 
+    def refresh_links(self, subscription: Subscription) -> None:
+        """Recompute the link annotation along ``subscription``'s path after
+        its *link mapping* changed without any structural tree change.
+
+        The aggregation layer calls this when a deduplicated leaf's member
+        set changes (the leaf now lights a different union of links while
+        the tree is untouched).  Reuses the patch path: syncing an unchanged
+        path is a no-op, but the bottom-up re-annotation picks up the new
+        leaf mask and the caches flush — exactly the stale state.  No-op
+        when nothing stale exists (no program, annotation pending anyway).
+        """
+        if self._program is None or self._annotation_dirty:
+            return
+        if not self._program.annotated:
+            return
+        self._patch_program(subscription)
+
     def _annotated_program(self, num_links: int) -> CompiledProgram:
         program = self._ensure_program()
         if self._annotation_dirty or not program.annotated:
@@ -369,6 +386,7 @@ def create_engine(
     shard_policy: Optional[str] = None,
     shard_workers: int = 0,
     backend: Optional[str] = None,
+    aggregate: bool = False,
 ) -> MatcherEngine:
     """Instantiate an engine by name (``"compiled"``, ``"sharded"``, ``"tree"``).
 
@@ -385,11 +403,41 @@ def create_engine(
     sharded-engine execution mode — asking for it with ``engine="compiled"``
     is an error, and the tree engine (which has no compiled arrays) accepts
     only the default.
+
+    ``aggregate=True`` wraps the compiled or sharded engine in an
+    :class:`~repro.matching.aggregation.AggregatingEngine`: subscriptions
+    are canonicalized and deduplicated through an online covering forest so
+    the compiled arrays grow with *distinct* predicates, not subscribers.
+    Match sets and refined link masks are unchanged; step counts are
+    attributed to the deduplicated leaves.  The tree engine has no compiled
+    form to compress, so ``aggregate`` with ``engine="tree"`` is an error.
     """
     if backend is not None and backend not in BACKEND_NAMES:
         raise SubscriptionError(
             f"unknown kernel backend {backend!r} — expected one of {BACKEND_NAMES}"
         )
+    if aggregate:
+        if engine == "tree":
+            raise SubscriptionError(
+                "engine 'tree' has no compiled program to compress — "
+                "aggregate=True requires engine='compiled' or 'sharded'"
+            )
+        # Imported here: aggregation wraps engines this module creates, so a
+        # module-scope import would cycle.
+        from repro.matching.aggregation import AggregatingEngine
+
+        inner = create_engine(
+            engine,
+            schema,
+            attribute_order=attribute_order,
+            domains=domains,
+            match_cache_capacity=match_cache_capacity,
+            shards=shards,
+            shard_policy=shard_policy,
+            shard_workers=shard_workers,
+            backend=backend,
+        )
+        return AggregatingEngine(inner)
     if engine == "compiled":
         # create_backend rejects "procpool" with a pointer at engine="sharded".
         return CompiledEngine(

@@ -719,6 +719,25 @@ class ShardedEngine(MatcherEngine):
             if self._link_caches is not None:
                 self._link_caches[shard.index].flush()
 
+    def refresh_links(self, subscription: Subscription) -> None:
+        """Refresh the owning shard's annotation after ``subscription``'s
+        link mapping changed without a structural change (the aggregation
+        layer's membership-only updates).  Only the owning shard's program
+        re-annotates its path, and only that shard's cached link answers
+        for events the predicate matches are evicted — the same surgical
+        repair churn gets."""
+        index = self._owner.get(subscription.subscription_id)
+        if index is None:
+            return
+        self._shards[index].refresh_links(subscription)
+        if self._link_caches is not None:
+            cache = self._link_caches[index]
+            if len(cache) > REPAIR_SCAN_LIMIT:
+                cache.flush()
+            else:
+                matches_values = self._staleness_test(subscription)
+                cache.evict_if(lambda key, _packed: matches_values(key[0]))
+
     def _require_links(self) -> int:
         if self._num_links is None:
             raise RoutingError(

@@ -213,6 +213,7 @@ class ProtocolContext:
         shard_policy: Optional[str] = None,
         shard_workers: int = 0,
         backend: Optional[str] = None,
+        aggregate: bool = False,
     ) -> None:
         topology.validate()
         self.topology = topology
@@ -226,6 +227,7 @@ class ProtocolContext:
         self.shard_policy = shard_policy
         self.shard_workers = shard_workers
         self.backend = backend
+        self.aggregate = aggregate
         self.routing_tables: Dict[str, RoutingTable] = all_routing_tables(topology)
         self.spanning_trees: Dict[str, SpanningTree] = spanning_trees_for_publishers(topology)
 

@@ -69,6 +69,7 @@ class FloodingProtocol(RoutingProtocol):
             shard_policy=context.shard_policy,
             shard_workers=context.shard_workers,
             backend=context.backend,
+            aggregate=context.aggregate,
         )
 
     def on_topology_repaired(self, repair) -> List[str]:

@@ -79,6 +79,7 @@ class LinkMatchingProtocol(RoutingProtocol):
             shard_policy=context.shard_policy,
             shard_workers=context.shard_workers,
             backend=context.backend,
+            aggregate=context.aggregate,
         )
         for subscription in self._subscriptions:
             try:

@@ -56,6 +56,7 @@ class MatchFirstProtocol(RoutingProtocol):
                 shard_policy=context.shard_policy,
                 shard_workers=context.shard_workers,
                 backend=context.backend,
+                aggregate=context.aggregate,
             )
             for subscription in context.subscriptions:
                 router.add_subscription(subscription)

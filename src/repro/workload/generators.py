@@ -49,12 +49,23 @@ class SubscriptionGenerator:
         *,
         seed: int = 0,
         region_of: Optional[RegionOf] = None,
+        duplicate_rate: float = 0.0,
     ) -> None:
+        if not 0.0 <= duplicate_rate < 1.0:
+            raise SimulationError(
+                f"duplicate_rate must be in [0, 1), got {duplicate_rate}"
+            )
         self.spec = spec
         self.schema = spec.schema()
         self.rng = random.Random(seed)
         self._region_of = region_of if region_of is not None else (lambda _client: 0)
         self._samplers: Dict[int, ZipfSampler] = {}
+        #: With probability ``duplicate_rate`` a predicate is re-drawn from
+        #: the previously generated pool instead of sampled fresh — models
+        #: many subscribers registering the *same* popular predicate body
+        #: (the regime subscription aggregation compresses).
+        self.duplicate_rate = duplicate_rate
+        self._predicate_pool: List[Predicate] = []
 
     def _sampler_for_region(self, region: int) -> ZipfSampler:
         region %= max(1, self.spec.locality_regions)
@@ -74,10 +85,18 @@ class SubscriptionGenerator:
 
         Constrained attributes get equality tests, or — with the spec's
         ``range_probability`` — a one-sided range test against a sampled
-        bound (half-open in a uniformly chosen direction).
+        bound (half-open in a uniformly chosen direction).  With the
+        generator's ``duplicate_rate``, a previously generated predicate is
+        reused instead (Zipf-weighted toward early, popular bodies).
         """
         from repro.matching.predicates import RangeOp, RangeTest
 
+        if self._predicate_pool and self.rng.random() < self.duplicate_rate:
+            # Favor early pool entries ~1/rank: popular bodies accumulate
+            # registrations the way hot content accumulates subscribers.
+            pool_size = len(self._predicate_pool)
+            rank = min(int(pool_size ** self.rng.random()), pool_size - 1)
+            return self._predicate_pool[rank]
         sampler = self._sampler_for_region(self._region_of(subscriber))
         tests = {}
         for index, name in enumerate(self.spec.attribute_names):
@@ -90,7 +109,10 @@ class SubscriptionGenerator:
                 tests[name] = RangeTest(op, sampler.sample(self.rng))
             else:
                 tests[name] = EqualityTest(sampler.sample(self.rng))
-        return Predicate(self.schema, tests)
+        predicate = Predicate(self.schema, tests)
+        if self.duplicate_rate > 0.0:
+            self._predicate_pool.append(predicate)
+        return predicate
 
     def subscription_for(self, subscriber: str) -> Subscription:
         return Subscription(self.predicate_for(subscriber), subscriber)

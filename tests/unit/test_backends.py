@@ -192,3 +192,54 @@ class TestProcPoolFailures:
         executor = ProcPoolExecutor(1)
         executor.close()
         executor.close()
+
+
+class TestPackedImage:
+    def test_pack_unpack_round_trip(self):
+        """The packed payload reconstructs the full record surface: node
+        structure, interned values, range tests, leaf subscription ids, and
+        in-place annotation masks."""
+        from repro.core import M, TritVector
+        from repro.matching.backends.procpool import pack_image, unpack_image
+        from repro.matching.predicates import RangeOp, RangeTest
+
+        engine = CompiledEngine(SCHEMA, domains=DOMAINS, match_cache_capacity=0)
+        for i in range(6):
+            tests = {SCHEMA.names[0]: EqualityTest(i % 3)}
+            if i % 2:
+                tests[SCHEMA.names[1]] = RangeTest(RangeOp.LE, 1)
+            engine.insert(Subscription(Predicate(SCHEMA, tests), f"s{i % 3}"))
+        engine.bind_links(3, lambda s: int(s.subscriber[1:]))
+        engine.match_links(event(), TritVector([M, M, M]))  # compile + annotate
+        program = engine.program
+
+        payload = pack_image(program)
+        image = unpack_image(payload, len(payload))
+        try:
+            # A publication is immutable, so the worker-side generation
+            # restarts at zero; the parent keys publications by the live
+            # program's generation instead.
+            assert image.generation == 0
+            assert image.value_ids == program.value_ids
+            assert list(image.ann_yes) == list(program.ann_yes)
+            assert list(image.ann_maybe) == list(program.ann_maybe)
+            assert len(image._records) == len(program._records)
+            for theirs, ours in zip(program._records, image._records):
+                position, table, ranges, star, leaf_subs = theirs
+                image_position, image_table, image_ranges, image_star, image_subs = ours
+                assert image_position == position
+                assert image_star == star
+                assert (image_table or None) == (table or None)
+                if ranges is None:
+                    assert image_ranges is None
+                else:
+                    assert tuple(image_ranges) == tuple(ranges)
+                if leaf_subs is None:
+                    assert image_subs is None
+                else:
+                    # Workers see subscription *ids*; the parent maps back.
+                    assert list(image_subs) == [
+                        s.subscription_id for s in leaf_subs
+                    ]
+        finally:
+            image.release()
