@@ -24,6 +24,12 @@ baseline:
     ``--baseline-limit`` (building a million-subscription unaggregated
     program exists to be avoided, not timed).
 
+``ingest_subs_per_s`` / ``mean_cover_candidates``
+    Ingest throughput of the insert loop and the mean number of
+    ``predicate_subsumes`` verifications per cover search — the covering
+    index's whole job is keeping the latter at the handful of real
+    candidates instead of the bounded-scan's ``cover_scan_limit``.
+
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/aggregation_scaling.py
@@ -31,13 +37,15 @@ Run from the repo root::
         --counts 1000000 --baseline-limit 0 --cover-scan-limit 16
 
 ``--save`` archives the table under ``benchmarks/results/`` and emits
-``BENCH_aggregation_scaling.json`` next to it.  Three flags turn the script
+``BENCH_aggregation_scaling.json`` next to it.  Four flags turn the script
 into the CI gate: ``--min-compression X`` (exit 1 unless the largest sweep
 point compresses by X), ``--check-sublinear`` (exit 1 unless
-``cells_per_sub`` falls from the first sweep point to the last), and
+``cells_per_sub`` falls from the first sweep point to the last),
 ``--max-slowdown X`` (exit 1 unless, on a *dedup-free* workload where
 aggregation can only add overhead, the aggregated engine stays within X of
-the baseline per event).
+the baseline per event), and ``--min-ingest-speedup X`` (exit 1 unless the
+covering index beats the linear-scan attach by X at ``--ingest-count``
+subscriptions with equal-or-better compression).
 """
 
 from __future__ import annotations
@@ -57,7 +65,7 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 RESULTS_PATH = RESULTS_DIR / "aggregation_scaling.txt"
 
 
-def build_engine(subscriptions, *, aggregate, cover_scan_limit, cache):
+def build_engine(subscriptions, *, aggregate, cover_scan_limit, cache, use_index=True):
     spec = CHART1_SPEC
     inner = create_engine(
         "compiled",
@@ -66,7 +74,7 @@ def build_engine(subscriptions, *, aggregate, cover_scan_limit, cache):
         match_cache_capacity=cache,
     )
     engine = (
-        AggregatingEngine(inner, cover_scan_limit=cover_scan_limit)
+        AggregatingEngine(inner, cover_scan_limit=cover_scan_limit, use_index=use_index)
         if aggregate
         else inner
     )
@@ -110,8 +118,9 @@ def run(counts, num_events, repeats, seed, dup_rate, cover_scan_limit,
 
     Each row:
     ``{subscriptions, compression, roots, forest_nodes, program_cells,
-    cells_per_sub, per_event_us, baseline_per_event_us, speedup}`` — the
-    last two ``None`` when the count exceeds ``baseline_limit``.
+    cells_per_sub, ingest_subs_per_s, mean_cover_candidates, per_event_us,
+    baseline_per_event_us, speedup}`` — the last two ``None`` when the count
+    exceeds ``baseline_limit``.
     """
     spec = CHART1_SPEC
     event_generator = EventGenerator(spec, seed=seed + 1)
@@ -119,8 +128,8 @@ def run(counts, num_events, repeats, seed, dup_rate, cover_scan_limit,
 
     header = (
         f"{'subscriptions':>13} {'compression':>11} {'roots':>8} "
-        f"{'cells':>10} {'cells/sub':>9} {'agg_us':>8} {'base_us':>8} "
-        f"{'speedup':>8}"
+        f"{'cells':>10} {'cells/sub':>9} {'ingest/s':>9} {'cands':>6} "
+        f"{'agg_us':>8} {'base_us':>8} {'speedup':>8}"
     )
     lines = [
         f"events={num_events} repeats={repeats} dup_rate={dup_rate} "
@@ -138,10 +147,12 @@ def run(counts, num_events, repeats, seed, dup_rate, cover_scan_limit,
             spec, seed=seed, duplicate_rate=dup_rate
         ).subscriptions_for(["client"], count)
 
+        ingest_start = time.perf_counter()
         engine = build_engine(
             subscriptions, aggregate=True,
             cover_scan_limit=cover_scan_limit, cache=cache,
         )
+        ingest_s = time.perf_counter() - ingest_start
         engine.match(events[0])  # compile outside the timed region
         per_event = time_events(engine, events, repeats)
         cells = program_cells(engine)
@@ -152,6 +163,8 @@ def run(counts, num_events, repeats, seed, dup_rate, cover_scan_limit,
             "forest_nodes": engine.forest_nodes,
             "program_cells": cells,
             "cells_per_sub": cells / count,
+            "ingest_subs_per_s": count / ingest_s,
+            "mean_cover_candidates": engine.mean_cover_candidates,
             "per_event_us": per_event * 1e6,
             "baseline_per_event_us": None,
             "speedup": None,
@@ -179,9 +192,43 @@ def run(counts, num_events, repeats, seed, dup_rate, cover_scan_limit,
         lines.append(
             f"{count:>13} {row['compression']:>10.2f}x {row['roots']:>8} "
             f"{cells:>10} {row['cells_per_sub']:>9.3f} "
+            f"{row['ingest_subs_per_s']:>9,.0f} "
+            f"{row['mean_cover_candidates']:>6.1f} "
             f"{per_event * 1e6:>8.1f} {base_cell} {speedup_cell}"
         )
     return rows, "\n".join(lines)
+
+
+def ingest_speedup(count, seed, dup_rate, cover_scan_limit, cache):
+    """Covering-index ingest gain: indexed vs linear-scan attach over the
+    same duplicated pool.
+
+    Builds the aggregated engine twice — ``use_index=True`` (the
+    attribute-inverted :class:`~repro.matching.covering_index.CoveringIndex`
+    candidate filter) and ``use_index=False`` (bounded linear sibling scans)
+    — timing the insert loop of each.  Returns a dict with both throughputs,
+    their ratio, and both compression ratios: the index must be faster
+    *without* giving up compression at the same ``cover_scan_limit`` (in
+    practice it compresses far better — the linear scan stops at the first
+    ``cover_scan_limit`` siblings, the index verifies only real candidates).
+    """
+    spec = CHART1_SPEC
+    subscriptions = SubscriptionGenerator(
+        spec, seed=seed, duplicate_rate=dup_rate
+    ).subscriptions_for(["client"], count)
+    result = {"subscriptions": count}
+    for label, use_index in (("indexed", True), ("linear", False)):
+        start = time.perf_counter()
+        engine = build_engine(
+            subscriptions, aggregate=True,
+            cover_scan_limit=cover_scan_limit, cache=cache, use_index=use_index,
+        )
+        elapsed = time.perf_counter() - start
+        result[f"{label}_subs_per_s"] = count / elapsed
+        result[f"{label}_compression"] = engine.compression_ratio
+        engine.close()
+    result["speedup"] = result["indexed_subs_per_s"] / result["linear_subs_per_s"]
+    return result
 
 
 def dedup_free_slowdown(count, num_events, repeats, seed, cover_scan_limit, cache):
@@ -284,6 +331,16 @@ def main(argv=None):
         "smallest sweep count) keeps the aggregated engine within X of the "
         "unaggregated baseline per event",
     )
+    parser.add_argument(
+        "--min-ingest-speedup", type=float, default=None, metavar="X",
+        help="gate: exit 1 unless covering-index ingest beats the linear-"
+        "scan attach by X at --ingest-count subscriptions (with equal or "
+        "better compression)",
+    )
+    parser.add_argument(
+        "--ingest-count", type=int, default=250000, metavar="N",
+        help="subscription count for the --min-ingest-speedup comparison",
+    )
     args = parser.parse_args(argv)
 
     get_registry().enable()  # before any engine exists, so instruments record
@@ -304,6 +361,22 @@ def main(argv=None):
         print(
             f"\ndedup-free overhead: aggregated/baseline = {slowdown:.2f}x "
             f"at {min(args.counts)} subscriptions"
+        )
+
+    ingest_gate = None
+    if args.min_ingest_speedup is not None:
+        ingest_gate = ingest_speedup(
+            args.ingest_count, args.seed, args.dup_rate,
+            args.cover_scan_limit, args.cache,
+        )
+        extra["ingest_gate"] = ingest_gate
+        print(
+            f"\ncovering-index ingest at {args.ingest_count} subscriptions: "
+            f"{ingest_gate['indexed_subs_per_s']:,.0f} subs/s indexed vs "
+            f"{ingest_gate['linear_subs_per_s']:,.0f} linear "
+            f"({ingest_gate['speedup']:.2f}x), compression "
+            f"{ingest_gate['indexed_compression']:.1f}x vs "
+            f"{ingest_gate['linear_compression']:.1f}x"
         )
 
     if args.save:
@@ -359,6 +432,32 @@ def main(argv=None):
             print(
                 f"perf gate passed: dedup-free slowdown {slowdown:.2f}x "
                 f"<= {args.max_slowdown:.2f}x"
+            )
+    if args.min_ingest_speedup is not None:
+        if ingest_gate["speedup"] < args.min_ingest_speedup:
+            print(
+                f"PERF GATE FAILED: covering-index ingest speedup "
+                f"{ingest_gate['speedup']:.2f}x < "
+                f"{args.min_ingest_speedup:.2f}x at "
+                f"{args.ingest_count} subscriptions",
+                file=sys.stderr,
+            )
+            failed = True
+        elif ingest_gate["indexed_compression"] < ingest_gate["linear_compression"]:
+            print(
+                f"PERF GATE FAILED: covering-index compression "
+                f"{ingest_gate['indexed_compression']:.2f}x fell below the "
+                f"linear scan's {ingest_gate['linear_compression']:.2f}x",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            print(
+                f"perf gate passed: covering-index ingest "
+                f"{ingest_gate['speedup']:.2f}x >= "
+                f"{args.min_ingest_speedup:.2f}x (compression "
+                f"{ingest_gate['indexed_compression']:.1f}x vs "
+                f"{ingest_gate['linear_compression']:.1f}x)"
             )
     return 1 if failed else 0
 

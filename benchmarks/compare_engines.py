@@ -171,6 +171,7 @@ def run(
                 )
                 engine.match(events[0])  # warm up (compiled: force compilation)
                 per_match[name], steps[name] = time_matches(engine, events, repeats)
+        compression = None
         if aggregate:
             # Aggregation legitimately changes the step count (deduped
             # leaves walk once for many subscribers); sanity-check match
@@ -186,18 +187,20 @@ def run(
                 s.subscription_id for s in agg_engine.match(events[0]).subscriptions
             )
             assert tree_set == agg_set, "aggregation changed the match set"
+            compression = agg_engine.compression_ratio
         else:
             assert steps["tree"] == steps["compiled"], "engines disagree on steps"
         speedup = per_match["tree"] / per_match["compiled"]
-        rows.append(
-            {
-                "subscriptions": count,
-                "avg_steps": steps["tree"],
-                "tree_us": per_match["tree"] * 1e6,
-                "compiled_us": per_match["compiled"] * 1e6,
-                "speedup": speedup,
-            }
-        )
+        row = {
+            "subscriptions": count,
+            "avg_steps": steps["tree"],
+            "tree_us": per_match["tree"] * 1e6,
+            "compiled_us": per_match["compiled"] * 1e6,
+            "speedup": speedup,
+        }
+        if compression is not None:
+            row["compression"] = compression
+        rows.append(row)
         lines.append(
             f"{count:>13} {steps['tree']:>9.1f} "
             f"{per_match['tree'] * 1e6:>9.1f} {per_match['compiled'] * 1e6:>11.1f} "

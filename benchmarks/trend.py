@@ -107,6 +107,27 @@ def _compression_cell(payload: Dict[str, Any]) -> Any:
     )
 
 
+def _ingest_cell(payload: Dict[str, Any]) -> Any:
+    """Subscription-ingest throughput (aggregation_scaling artifacts only).
+
+    Prefers the covering-index gate comparison (``extra.ingest_gate`` —
+    indexed subs/s at the gate count), falling back to the largest sweep
+    row's insert-loop throughput; empty for every other benchmark.
+    """
+    extra = payload.get("extra", {})
+    gate = extra.get("ingest_gate")
+    if isinstance(gate, dict):
+        rate = gate.get("indexed_subs_per_s")
+        if isinstance(rate, (int, float)):
+            return f"{rate:,.0f}/s"
+    rows = extra.get("rows") or []
+    if not any("ingest_subs_per_s" in row for row in rows):
+        return ""
+    gate_row = max(rows, key=lambda row: row.get("subscriptions", 0))
+    rate = gate_row.get("ingest_subs_per_s")
+    return f"{rate:,.0f}/s" if isinstance(rate, (int, float)) else ""
+
+
 def _backend_cell(payload: Dict[str, Any]) -> Any:
     """The kernel backend a sweep ran on.
 
@@ -141,7 +162,7 @@ def trend_tables(
     for name in sorted(by_name):
         columns = [
             "created", "git_sha", "engine", "backend", "wall_clock_s",
-            "speedup", "compression",
+            "speedup", "compression", "ingest",
         ]
         if metric:
             columns.append(metric)
@@ -159,6 +180,7 @@ def trend_tables(
                 f"{wall:.2f}" if isinstance(wall, (int, float)) else "",
                 _speedup_cell(payload),
                 _compression_cell(payload),
+                _ingest_cell(payload),
             ]
             if metric:
                 row.append(_metric_value(payload, metric))

@@ -49,7 +49,7 @@ generation and rebuild lazily when it moves.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SubscriptionError
 
@@ -122,6 +122,21 @@ def validate_backend(backend: str) -> str:
             f"unknown kernel backend {backend!r} — expected one of {BACKEND_NAMES}"
         )
     return backend
+
+
+def kernel_backend_for(backend: Optional[str]) -> str:
+    """The in-process kernel equivalent of an engine's ``backend`` choice.
+
+    Auxiliary programs — the aggregation layer's compiled descent subtrees —
+    run in the caller's process whatever execution mode the host engine
+    uses, so ``procpool`` (a sharded-engine process-worker mode whose
+    workers run the vector kernel) maps to ``vector``; the kernel backends
+    map to themselves and ``None`` means :data:`DEFAULT_BACKEND`.
+    """
+    if backend is None:
+        return DEFAULT_BACKEND
+    validate_backend(backend)
+    return "vector" if backend == "procpool" else backend
 
 
 def create_backend(backend: str) -> KernelBackend:

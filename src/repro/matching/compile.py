@@ -952,3 +952,28 @@ def compile_tree(
     means :data:`~repro.matching.backends.DEFAULT_BACKEND`.
     """
     return CompiledProgram(tree, cache_capacity=cache_capacity, backend=backend)
+
+
+def compile_subscriptions(
+    schema: EventSchema,
+    subscriptions: Sequence[Subscription],
+    *,
+    attribute_order: Optional[Sequence[str]] = None,
+    backend: Union[str, KernelBackend, None] = None,
+    cache_capacity: int = 0,
+) -> CompiledProgram:
+    """Lower a bare subscription list straight into a compiled program.
+
+    The subtree-scoped constructor behind the aggregation layer's compiled
+    descent (:mod:`repro.matching.aggregation`): callers holding a set of
+    subscriptions but no tree — e.g. one covering root's descendant
+    representatives — get the same flat-array lowering and kernel surface
+    as a full engine without standing an engine up around it.  Caching
+    defaults *off*: these mini-programs sit behind their owner's own
+    memoization (the aggregation descent cache), so per-program projection
+    caches would only duplicate entries.
+    """
+    tree = ParallelSearchTree(schema, attribute_order=attribute_order)
+    for subscription in subscriptions:
+        tree.insert(subscription)
+    return CompiledProgram(tree, cache_capacity=cache_capacity, backend=backend)

@@ -1,0 +1,288 @@
+"""Attribute-inverted index over canonical predicates for covering search.
+
+The covering forest of :mod:`repro.matching.aggregation` needs two queries
+per attached group: *who covers this predicate* (to descend from a covering
+root) and *whom does this predicate cover* (to demote siblings under the
+newcomer).  Both were bounded linear scans over forest levels — fine at a
+few thousand groups, the ingest bottleneck at hundreds of thousands.  This
+module answers both queries with **candidate filtering**: an inverted index
+over the per-attribute tests of every live canonical predicate hands back a
+small superset of the true relations, and only those candidates are checked
+with :func:`~repro.matching.subsumption.predicate_subsumes`.
+
+Canonical predicates (see
+:func:`~repro.matching.aggregation.canonicalize_predicate`) carry only
+three test shapes per attribute — equality, closed-bound interval, or
+don't-care — which is what makes the index small:
+
+* ``equality buckets`` — ``position -> value -> keys`` for every equality
+  test.  Values hash by Python equality, so the ``1``/``1.0`` collapse
+  matches the subsumption algebra's.
+* ``interval lists`` — ``position -> {key: test}`` for every non-equality
+  test, scanned with :func:`~repro.matching.subsumption.covers` containment
+  per position (the lists hold only genuinely range-constrained predicates,
+  which Zipf-equality workloads make rare).
+* ``equality signatures`` — ``frozenset((position, value), ...) -> keys``
+  for predicates constrained *only* by equalities.  A pure-equality
+  predicate covers a probe iff its signature is a subset of the probe's
+  equality pairs with equal values, so cover lookup is subset enumeration
+  over the probe's pairs: ``2**k`` dict probes instead of a scan of every
+  group (bounded by :data:`MAX_SIGNATURE_BITS`).
+
+The filter is **complete** for the one-sided-range + equality workload the
+aggregation layer sees (every true covering relation is in the candidate
+set), with two documented best-effort gaps that cost compression, never
+correctness: probes with more than :data:`MAX_SIGNATURE_BITS` equality
+tests enumerate subsets of the first :data:`MAX_SIGNATURE_BITS` pairs only,
+and a pure-equality predicate covering an interval pinned to a single point
+is not surfaced.  Spurious candidates are harmless by construction — the
+caller verifies every candidate with ``predicate_subsumes`` before acting.
+
+Maintenance is strictly incremental: :meth:`CoveringIndex.add` /
+:meth:`CoveringIndex.remove` on group creation and dissolution, nothing on
+forest promotions or demotions (the index stores no forest shape — callers
+filter candidates by the live ``parent`` pointer).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.matching.predicates import AttributeTest, EqualityTest, Predicate
+from repro.matching.schema import AttributeValue
+from repro.matching.subsumption import covers
+
+#: Cover probes enumerate equality-pair subsets of at most the probe's first
+#: MAX_SIGNATURE_BITS pairs (``2**MAX_SIGNATURE_BITS`` subsets worst case;
+#: in practice far fewer — only subset *sizes* with live signatures are
+#: enumerated).  Covers keyed on the dropped pairs are missed — compression
+#: loss, never a wrong answer.
+MAX_SIGNATURE_BITS = 12
+
+#: One predicate's constrained tests: ``((position, test), ...)``.
+_Constrained = Tuple[Tuple[int, AttributeTest], ...]
+
+#: An equality signature: the ``(position, value)`` pairs of a pure-equality
+#: predicate, in ascending position order (tuples hash cheaper than
+#: frozensets, and position order makes equal pair sets equal tuples).
+_Signature = Tuple[Tuple[int, AttributeValue], ...]
+
+
+def _constrained_tests(canonical: Predicate) -> _Constrained:
+    return tuple(
+        (position, test)
+        for position, test in enumerate(canonical.tests)
+        if not test.is_dont_care
+    )
+
+
+class CoveringIndex:
+    """Incremental inverted index from canonical predicates to cover/covered
+    candidates.
+
+    Keys are opaque hashable objects (the aggregation layer uses its
+    ``_Group`` instances); each key is bound to one canonical predicate for
+    its whole lifetime in the index.  Group sets are kept as insertion-
+    ordered ``dict``-of-``None`` so candidate order — and therefore forest
+    shape — is deterministic for a given ingest order.
+    """
+
+    __slots__ = (
+        "_entries",
+        "_equalities",
+        "_intervals",
+        "_signatures",
+        "_signature_sizes",
+        "_universal",
+    )
+
+    def __init__(self) -> None:
+        #: key -> its constrained tests (membership + constraint count).
+        self._entries: Dict[Hashable, _Constrained] = {}
+        #: position -> value -> ordered set of keys with that equality test.
+        self._equalities: Dict[int, Dict[AttributeValue, Dict[Hashable, None]]] = {}
+        #: position -> key -> its (non-equality) test at that position.
+        self._intervals: Dict[int, Dict[Hashable, AttributeTest]] = {}
+        #: equality signature -> ordered set of pure-equality keys.
+        self._signatures: Dict[_Signature, Dict[Hashable, None]] = {}
+        #: signature length -> live signature count; cover probes enumerate
+        #: pair subsets only for sizes present here.
+        self._signature_sizes: Dict[int, int] = {}
+        #: keys whose predicate constrains nothing (cover everything).
+        self._universal: Dict[Hashable, None] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    @staticmethod
+    def _signature_of(constrained: _Constrained) -> Optional[_Signature]:
+        """The equality signature, or None when any test is non-equality."""
+        pairs = []
+        for position, test in constrained:
+            if not isinstance(test, EqualityTest):
+                return None
+            pairs.append((position, test.value))
+        return tuple(pairs)
+
+    def add(self, key: Hashable, canonical: Predicate) -> None:
+        """Index ``key`` under its canonical predicate's per-attribute tests."""
+        constrained = _constrained_tests(canonical)
+        self._entries[key] = constrained
+        if not constrained:
+            self._universal[key] = None
+            return
+        for position, test in constrained:
+            if isinstance(test, EqualityTest):
+                bucket = self._equalities.setdefault(position, {})
+                bucket.setdefault(test.value, {})[key] = None
+            else:
+                self._intervals.setdefault(position, {})[key] = test
+        signature = self._signature_of(constrained)
+        if signature is not None:
+            keys = self._signatures.setdefault(signature, {})
+            if not keys:
+                size = len(signature)
+                self._signature_sizes[size] = self._signature_sizes.get(size, 0) + 1
+            keys[key] = None
+
+    def remove(self, key: Hashable) -> None:
+        """Drop ``key`` from every posting list it appears in."""
+        constrained = self._entries.pop(key)
+        if not constrained:
+            del self._universal[key]
+            return
+        for position, test in constrained:
+            if isinstance(test, EqualityTest):
+                bucket = self._equalities[position]
+                keys = bucket[test.value]
+                del keys[key]
+                if not keys:
+                    del bucket[test.value]
+                if not bucket:
+                    del self._equalities[position]
+            else:
+                keys = self._intervals[position]
+                del keys[key]
+                if not keys:
+                    del self._intervals[position]
+        signature = self._signature_of(constrained)
+        if signature is not None:
+            keys = self._signatures[signature]
+            del keys[key]
+            if not keys:
+                del self._signatures[signature]
+                size = len(signature)
+                count = self._signature_sizes[size] - 1
+                if count:
+                    self._signature_sizes[size] = count
+                else:
+                    del self._signature_sizes[size]
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def cover_candidates(self, canonical: Predicate) -> List[Hashable]:
+        """Keys whose predicate may cover ``canonical`` (superset filter).
+
+        Universal predicates cover everything; pure-equality covers come
+        from signature-subset enumeration; interval-bearing covers must
+        place an interval at some probe-constrained position that contains
+        the probe's test there, so per-position containment scans of the
+        interval lists find them.  The probe's own key (if indexed) is a
+        candidate of itself — callers skip it.
+        """
+        found: Dict[Hashable, None] = dict(self._universal)
+        constrained = _constrained_tests(canonical)
+        if self._signatures:
+            pairs = tuple(
+                (position, test.value)
+                for position, test in constrained
+                if isinstance(test, EqualityTest)
+            )[:MAX_SIGNATURE_BITS]
+            get = self._signatures.get
+            for size in self._signature_sizes:
+                if size > len(pairs):
+                    continue
+                # combinations preserves input order, so every subset comes
+                # out in ascending position order — the signature key form.
+                for subset in combinations(pairs, size):
+                    hit = get(subset)
+                    if hit:
+                        found.update(hit)
+        for position, test in constrained:
+            entries = self._intervals.get(position)
+            if not entries:
+                continue
+            for key, candidate_test in entries.items():
+                if key not in found and covers(candidate_test, test):
+                    found[key] = None
+        return list(found)
+
+    def covered_candidates(
+        self, canonical: Predicate, limit: Optional[int] = None
+    ) -> Optional[List[Hashable]]:
+        """Keys whose predicate ``canonical`` may cover, or ``None`` when
+        every key is a candidate (the probe constrains nothing, so it covers
+        all of them — callers fall back to their own bounded sibling scan).
+
+        Seeds from the probe's cheapest constrained position: anything the
+        probe covers is constrained there by a test the probe's test
+        contains, so one position's equality buckets plus its interval list
+        are a complete candidate source.  Candidates constrained on fewer
+        attributes than the probe are pruned outright (a covered predicate
+        carries every constraint of its cover).
+
+        ``limit`` caps the candidates collected (insertion order — the
+        caller's verification budget makes collecting more pointless);
+        demotion is opportunistic, so a truncated candidate set costs
+        compression, never correctness.
+        """
+        constrained = _constrained_tests(canonical)
+        if not constrained:
+            return None
+        if limit is not None and limit <= 0:
+            return []
+        best = None
+        for position, test in constrained:
+            intervals = self._intervals.get(position, {})
+            by_value = self._equalities.get(position, {})
+            if isinstance(test, EqualityTest):
+                buckets = [by_value.get(test.value, {})]
+            else:
+                buckets = [
+                    keys for value, keys in by_value.items() if test.evaluate(value)
+                ]
+            load = len(intervals) + sum(len(bucket) for bucket in buckets)
+            if best is None or load < best[0]:
+                best = (load, test, buckets, intervals)
+        _, seed_test, buckets, intervals = best
+        min_constraints = len(constrained)
+        entries = self._entries
+        found: Dict[Hashable, None] = {}
+        for bucket in buckets:
+            for key in bucket:
+                if len(entries[key]) >= min_constraints:
+                    found[key] = None
+                    if limit is not None and len(found) >= limit:
+                        return list(found)
+        for key, candidate_test in intervals.items():
+            if (
+                key not in found
+                and len(entries[key]) >= min_constraints
+                and covers(seed_test, candidate_test)
+            ):
+                found[key] = None
+                if limit is not None and len(found) >= limit:
+                    break
+        return list(found)
+
+    def __repr__(self) -> str:
+        return (
+            f"CoveringIndex({len(self._entries)} predicates, "
+            f"{len(self._signatures)} equality signatures, "
+            f"{sum(len(v) for v in self._intervals.values())} interval postings)"
+        )

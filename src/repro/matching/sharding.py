@@ -87,7 +87,7 @@ from repro.matching.compile import DEFAULT_MATCH_CACHE_CAPACITY, ProjectionCache
 from repro.matching.engines import BATCH_SIZE_BUCKETS, CompiledEngine
 from repro.matching.events import Event
 from repro.matching.pst import MatchResult
-from repro.matching.predicates import EqualityTest, Subscription
+from repro.matching.predicates import Subscription, value_tuple_test
 from repro.matching.schema import AttributeValue, EventSchema
 from repro.obs import get_registry
 
@@ -426,40 +426,11 @@ class ShardedEngine(MatcherEngine):
 
     @staticmethod
     def _staleness_test(subscription: Subscription):
-        """A fast ``values_tuple -> bool`` for repair scans.
-
-        The scan runs once per resident entry on every churn op, so the
-        common case — equality tests, which miss on the first compare for
-        almost every entry — is plain tuple compares with no method calls;
-        only genuinely general tests (ranges) fall back to ``evaluate``.
-        Don't-cares accept everything and are skipped outright."""
-        equalities: List[Tuple[int, AttributeValue]] = []
-        general: List[Tuple[int, object]] = []
-        for position, test in enumerate(subscription.predicate.tests):
-            if test.is_dont_care:
-                continue
-            if type(test) is EqualityTest:
-                equalities.append((position, test.value))
-            else:
-                general.append((position, test))
-        if not equalities:
-            return lambda values: all(
-                test.evaluate(values[i]) for i, test in general
-            )
-        (first_position, first_value), rest = equalities[0], equalities[1:]
-
-        def matches_values(values: tuple) -> bool:
-            if values[first_position] != first_value:
-                return False
-            for position, value in rest:
-                if values[position] != value:
-                    return False
-            for position, test in general:
-                if not test.evaluate(values[position]):
-                    return False
-            return True
-
-        return matches_values
+        """A fast ``values_tuple -> bool`` for repair scans — the shared
+        equality-first evaluator of
+        :func:`~repro.matching.predicates.value_tuple_test` (the aggregating
+        engine's descent-cache repair runs the same one)."""
+        return value_tuple_test(subscription.predicate)
 
     def _choose_shard(self, subscription: Subscription) -> int:
         if self.policy == "round-robin":

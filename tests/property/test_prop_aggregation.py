@@ -202,6 +202,46 @@ class TestAggregationEquivalence:
         )
 
 
+class TestIngestOrderInvariance:
+    @given(
+        specs=subscription_lists,
+        event_values=events,
+        mask=masks,
+        order_seed=st.integers(0, 2**16),
+        use_index=st.booleans(),
+    )
+    @settings(max_examples=100)
+    def test_any_ingest_order_gives_identical_answers(
+        self, specs, event_values, mask, order_seed, use_index
+    ):
+        """Forest state is ingest-order invariant: whatever order the same
+        subscription set arrives in — and whether the covering search runs
+        through the attribute index or the linear sibling scans — the match
+        sets and refined link masks are identical to the unaggregated
+        reference over the original order."""
+        subscriptions = make_subscriptions(specs)
+        permuted = list(subscriptions)
+        random.Random(order_seed).shuffle(permuted)
+        plain = create_engine("compiled", SCHEMA, domains=DOMAINS)
+        aggregated = AggregatingEngine(
+            create_engine("compiled", SCHEMA, domains=DOMAINS),
+            use_index=use_index,
+        )
+        for subscription in subscriptions:
+            plain.insert(subscription)
+        for subscription in permuted:
+            aggregated.insert(clone(subscription))
+        plain.bind_links(NUM_LINKS, link_of)
+        aggregated.bind_links(NUM_LINKS, link_of)
+        event = Event.from_tuple(SCHEMA, event_values)
+        assert_same_matches(plain, aggregated, event)
+        assert (
+            aggregated.match_links(event, mask).mask
+            == plain.match_links(event, mask).mask
+        )
+        assert aggregated.subscription_count == plain.subscription_count
+
+
 class TestChurnEquivalence:
     def _run_churn(self, inner, *, rounds=150, seed=20260807):
         """Seeded insert/remove churn with caches enabled.  Removals target

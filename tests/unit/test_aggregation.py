@@ -152,6 +152,177 @@ class TestCoveringForest:
         assert engine.subscription_count == 1
         assert matched_ids(engine, event((1, 0, 0))) == [second.subscription_id]
 
+    def test_cover_scan_accounting(self):
+        engine = make_engine()
+        engine.insert(sub("s0"))
+        engine.insert(sub("s1", a1=EqualityTest(1)))
+        assert engine.cover_probes == 2
+        assert engine.mean_cover_candidates >= 0.0
+
+
+class TestLinearMode:
+    """The ``use_index=False`` path must build the same kind of forest
+    through the bounded linear sibling scans."""
+
+    def test_covered_insert_is_not_compiled(self):
+        engine = make_engine(use_index=False)
+        assert engine._index is None
+        engine.insert(sub("s0"))
+        strict = sub("s1", a1=EqualityTest(1))
+        engine.insert(strict)
+        assert engine.root_count == 1
+        assert not engine.group_of(strict.subscription_id)[2]
+
+    def test_later_cover_demotes_existing_roots(self):
+        engine = make_engine(use_index=False)
+        strict = sub("s0", a1=EqualityTest(1))
+        engine.insert(strict)
+        engine.insert(sub("s1"))
+        assert engine.root_count == 1
+        assert not engine.group_of(strict.subscription_id)[2]
+        assert matched_ids(engine, event((1, 0, 0))) == sorted(
+            s.subscription_id for s in engine.subscriptions
+        )
+
+    def test_dissolving_parent_promotes_children(self):
+        engine = make_engine(use_index=False)
+        parent = sub("s0")
+        left = sub("s1", a1=EqualityTest(0))
+        right = sub("s2", a1=EqualityTest(1))
+        for subscription in (parent, left, right):
+            engine.insert(subscription)
+        engine.remove(parent.subscription_id)
+        assert engine.root_count == 2
+        assert matched_ids(engine, event((0, 0, 0))) == [left.subscription_id]
+
+    def test_matches_indexed_forest_shape_on_small_pool(self):
+        subscriptions = [
+            sub("s0"),
+            sub("s1", a1=EqualityTest(1)),
+            sub("s2", a1=EqualityTest(1), a2=EqualityTest(0)),
+            sub("s3", a2=RangeTest(RangeOp.LE, 1)),
+            sub("s4", a1=EqualityTest(1)),
+        ]
+        indexed = make_engine()
+        linear = make_engine(use_index=False)
+        for subscription in subscriptions:
+            indexed.insert(Subscription(subscription.predicate, subscription.subscriber))
+            linear.insert(Subscription(subscription.predicate, subscription.subscriber))
+        assert indexed.root_count == linear.root_count
+        assert indexed.forest_nodes == linear.forest_nodes
+        assert indexed.compression_ratio == linear.compression_ratio
+
+
+class TestDescentCacheRepair:
+    def test_dedup_insert_evicts_only_matching_entries(self):
+        engine = make_engine()
+        engine.insert(sub("s0"))  # universal root
+        engine.insert(sub("s1", a1=EqualityTest(1)))  # covered group
+        hit, miss = event((1, 0, 0)), event((0, 0, 0))
+        engine.match(hit)
+        engine.match(miss)
+        assert len(engine._descent_cache) == 2
+        extra = sub("s2", a1=EqualityTest(1))
+        engine.insert(extra)  # dedup hit into the Eq(1) group
+        # Only the entry whose event satisfies Eq(1) is stale; the miss
+        # entry survives the surgical repair.
+        assert len(engine._descent_cache) == 1
+        assert extra.subscription_id in matched_ids(engine, hit)
+
+    def test_member_removal_reaches_surviving_stream(self):
+        engine = make_engine()
+        keep = sub("s0", a1=EqualityTest(1))
+        drop = sub("s1", a1=EqualityTest(1))
+        engine.insert(keep)
+        engine.insert(drop)
+        hit, miss = event((1, 0, 0)), event((0, 0, 0))
+        engine.match(hit)
+        engine.match(miss)
+        engine.remove(drop.subscription_id)
+        assert matched_ids(engine, hit) == [keep.subscription_id]
+        assert matched_ids(engine, miss) == []
+
+    def test_new_root_insert_evicts_entries_it_now_matches(self):
+        engine = make_engine()
+        engine.insert(sub("s0", a1=EqualityTest(0)))
+        ev = event((1, 0, 0))
+        assert matched_ids(engine, ev) == []
+        late = sub("s1", a1=EqualityTest(1))
+        engine.insert(late)
+        assert matched_ids(engine, ev) == [late.subscription_id]
+
+    def test_repair_limit_falls_back_to_flush(self):
+        engine = make_engine()
+        engine._descent_repair_limit = 0
+        engine.insert(sub("s0", a1=EqualityTest(1)))
+        engine.match(event((0, 0, 0)))  # non-matching entry cached
+        assert len(engine._descent_cache) == 1
+        engine.insert(sub("s1", a1=EqualityTest(2)))  # any churn now flushes
+        assert len(engine._descent_cache) == 0
+
+
+class TestCompiledDescent:
+    def _warm_engine(self, **kwargs):
+        engine = make_engine(
+            subtree_compile_threshold=2, subtree_min_size=1, **kwargs
+        )
+        engine.insert(sub("s0"))  # universal root
+        engine.insert(sub("s1", a1=EqualityTest(1)))
+        engine.insert(sub("s2", a2=EqualityTest(2)))
+        return engine
+
+    def test_hot_subtree_compiles_and_matches_identically(self):
+        engine = self._warm_engine()
+        # Distinct events: descent hits only accumulate on cache misses.
+        first = matched_ids(engine, event((1, 0, 0)))
+        assert engine.subtree_compiles == 0
+        second = matched_ids(engine, event((0, 2, 0)))
+        assert engine.subtree_compiles == 1
+        root = next(iter(engine._roots.values()))
+        assert root.subtree_program is not None
+        ids = {s.subscription_id for s in engine.subscriptions}
+        by_subscriber = {
+            s.subscriber: s.subscription_id for s in engine.subscriptions
+        }
+        assert set(first) == {by_subscriber["s0"], by_subscriber["s1"]}
+        assert set(second) == {by_subscriber["s0"], by_subscriber["s2"]}
+        # Compiled descent serves subsequent misses with the same answers.
+        third = matched_ids(engine, event((1, 2, 0)))
+        assert set(third) == ids
+
+    def test_structural_churn_invalidates_the_program(self):
+        engine = self._warm_engine()
+        matched_ids(engine, event((1, 0, 0)))
+        matched_ids(engine, event((0, 2, 0)))
+        assert engine.subtree_compiles == 1
+        late = sub("s3", a3=EqualityTest(0))
+        engine.insert(late)  # attaches under the universal root
+        root = next(iter(engine._roots.values()))
+        assert root.subtree_program is None
+        # The counter warms back up and the recompiled program sees s3.
+        matched = matched_ids(engine, event((2, 0, 0)))
+        matched = matched_ids(engine, event((2, 1, 0)))
+        assert engine.subtree_compiles == 2
+        assert late.subscription_id in matched
+
+    def test_threshold_zero_disables_compiled_descent(self):
+        engine = self._warm_engine()
+        engine.subtree_compile_threshold = 0
+        for a1 in range(3):
+            for a2 in range(3):
+                matched_ids(engine, event((a1, a2, 0)))
+        assert engine.subtree_compiles == 0
+
+    def test_small_subtrees_reset_instead_of_compiling(self):
+        engine = make_engine(subtree_compile_threshold=1, subtree_min_size=5)
+        engine.insert(sub("s0"))
+        engine.insert(sub("s1", a1=EqualityTest(1)))
+        matched_ids(engine, event((1, 0, 0)))
+        assert engine.subtree_compiles == 0
+        root = next(iter(engine._roots.values()))
+        assert root.subtree_program is None
+        assert root.descent_hits == 0  # reset: too small to be worth it
+
 
 class TestLinkRefresh:
     def test_dedup_member_lights_its_link_without_rebuild(self):

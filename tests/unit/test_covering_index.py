@@ -1,0 +1,153 @@
+"""Unit tests for the attribute-inverted covering index.
+
+The index is a *candidate filter*: callers verify every candidate with
+``predicate_subsumes``, so spurious candidates are harmless and the only
+interesting contract is completeness — every true covering relation over
+the canonical test shapes must surface.  These tests pin the explicit
+query behaviors, the add/remove lifecycle, and (the load-bearing one) an
+exact-completeness sweep over the equality + one-sided-range predicate
+family, where the filter is complete by design (one-sided ranges never
+pin a single point, so the documented pure-equality-over-point-interval
+gap cannot occur).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.matching import Predicate, uniform_schema
+from repro.matching.aggregation import canonicalize_predicate
+from repro.matching.covering_index import MAX_SIGNATURE_BITS, CoveringIndex
+from repro.matching.predicates import EqualityTest, RangeOp, RangeTest
+from repro.matching.subsumption import predicate_subsumes
+
+SCHEMA = uniform_schema(4)
+
+
+def canonical(**tests):
+    return canonicalize_predicate(Predicate(SCHEMA, tests))
+
+
+class TestLifecycle:
+    def test_add_remove_roundtrip_empties_every_posting_list(self):
+        index = CoveringIndex()
+        bodies = [
+            canonical(),
+            canonical(a1=EqualityTest(1)),
+            canonical(a1=EqualityTest(1), a2=EqualityTest(2)),
+            canonical(a2=RangeTest(RangeOp.GE, 1)),
+        ]
+        for key, body in enumerate(bodies):
+            index.add(key, body)
+        assert len(index) == len(bodies)
+        assert 0 in index and 3 in index
+        for key in range(len(bodies)):
+            index.remove(key)
+        assert len(index) == 0
+        assert index._equalities == {}
+        assert index._intervals == {}
+        assert index._signatures == {}
+        assert index._signature_sizes == {}
+        assert index._universal == {}
+
+    def test_universal_probe_returns_none_for_covered(self):
+        index = CoveringIndex()
+        index.add("eq", canonical(a1=EqualityTest(1)))
+        # The universal predicate covers everything: no seed position exists,
+        # so the caller must fall back to its own bounded sibling scan.
+        assert index.covered_candidates(canonical()) is None
+
+    def test_universal_entries_are_cover_candidates_of_everything(self):
+        index = CoveringIndex()
+        index.add("all", canonical())
+        index.add("eq", canonical(a1=EqualityTest(1)))
+        assert "all" in index.cover_candidates(canonical(a1=EqualityTest(1)))
+        assert "all" in index.cover_candidates(canonical(a3=EqualityTest(0)))
+
+
+class TestQueries:
+    def test_equality_signature_cover_lookup(self):
+        index = CoveringIndex()
+        index.add("broad", canonical(a1=EqualityTest(1)))
+        index.add("other", canonical(a1=EqualityTest(2)))
+        probe = canonical(a1=EqualityTest(1), a2=EqualityTest(0))
+        candidates = index.cover_candidates(probe)
+        assert "broad" in candidates
+        assert "other" not in candidates
+
+    def test_interval_cover_lookup(self):
+        index = CoveringIndex()
+        index.add("wide", canonical(a1=RangeTest(RangeOp.LE, 5)))
+        index.add("narrow", canonical(a1=RangeTest(RangeOp.LE, 1)))
+        probe = canonical(a1=RangeTest(RangeOp.LE, 3))
+        candidates = index.cover_candidates(probe)
+        assert "wide" in candidates
+        assert "narrow" not in candidates
+
+    def test_covered_candidates_prunes_underconstrained(self):
+        index = CoveringIndex()
+        index.add("specific", canonical(a1=EqualityTest(1), a2=EqualityTest(2)))
+        index.add("loose", canonical(a1=EqualityTest(1)))
+        probe = canonical(a1=EqualityTest(1), a2=RangeTest(RangeOp.GE, 0))
+        candidates = index.covered_candidates(probe)
+        # "loose" constrains fewer attributes than the probe, so it cannot
+        # be covered by it; "specific" must surface.
+        assert "specific" in candidates
+        assert "loose" not in candidates
+
+    def test_covered_candidates_limit_truncates(self):
+        index = CoveringIndex()
+        for key in range(10):
+            index.add(key, canonical(a1=EqualityTest(1), a2=EqualityTest(key)))
+        probe = canonical(a1=EqualityTest(1))
+        assert len(index.covered_candidates(probe)) == 10
+        assert len(index.covered_candidates(probe, limit=3)) == 3
+        assert index.covered_candidates(probe, limit=0) == []
+
+    def test_signature_cap_smoke(self):
+        wide = uniform_schema(MAX_SIGNATURE_BITS + 2)
+        index = CoveringIndex()
+        cover = canonicalize_predicate(
+            Predicate(wide, {wide.names[0]: EqualityTest(0)})
+        )
+        index.add("cover", cover)
+        probe = canonicalize_predicate(
+            Predicate(wide, {name: EqualityTest(0) for name in wide.names})
+        )
+        # The probe carries more equality pairs than MAX_SIGNATURE_BITS;
+        # enumeration stays bounded and still finds covers keyed on the
+        # first MAX_SIGNATURE_BITS pairs.
+        assert "cover" in index.cover_candidates(probe)
+
+
+class TestCompleteness:
+    def _random_canonical(self, rng):
+        tests = {}
+        for name in SCHEMA.names:
+            roll = rng.random()
+            if roll < 0.45:
+                continue  # don't-care
+            if roll < 0.8:
+                tests[name] = EqualityTest(rng.randrange(4))
+            else:
+                op = rng.choice([RangeOp.LE, RangeOp.GE, RangeOp.LT, RangeOp.GT])
+                tests[name] = RangeTest(op, rng.randrange(4))
+        return canonical(**tests)
+
+    def test_every_true_cover_is_a_candidate(self):
+        """Exact completeness over the Eq + one-sided-Range family: for
+        every subsuming pair, the cover is a cover-candidate of the covered
+        probe AND the covered is a covered-candidate of the cover."""
+        rng = random.Random(20260807)
+        bodies = [self._random_canonical(rng) for _ in range(48)]
+        index = CoveringIndex()
+        for key, body in enumerate(bodies):
+            index.add(key, body)
+        for i, general in enumerate(bodies):
+            covered = index.covered_candidates(general)
+            for j, specific in enumerate(bodies):
+                if i == j or not predicate_subsumes(general, specific):
+                    continue
+                assert i in index.cover_candidates(specific), (general, specific)
+                if covered is not None:
+                    assert j in covered, (general, specific)
