@@ -128,6 +128,19 @@ def _ingest_cell(payload: Dict[str, Any]) -> Any:
     return f"{rate:,.0f}/s" if isinstance(rate, (int, float)) else ""
 
 
+def _hop_cost_cell(payload: Dict[str, Any]) -> Any:
+    """Match-once step reduction at the deepest/largest sweep point
+    (hop_cost artifacts only; empty for every other benchmark)."""
+    rows = payload.get("extra", {}).get("rows") or []
+    if not any("step_reduction" in row for row in rows):
+        return ""
+    gate_row = max(
+        rows, key=lambda row: (row.get("depth", 0), row.get("subscriptions", 0))
+    )
+    reduction = gate_row.get("step_reduction")
+    return f"{reduction:.2f}x" if isinstance(reduction, (int, float)) else ""
+
+
 def _backend_cell(payload: Dict[str, Any]) -> Any:
     """The kernel backend a sweep ran on.
 
@@ -162,7 +175,7 @@ def trend_tables(
     for name in sorted(by_name):
         columns = [
             "created", "git_sha", "engine", "backend", "wall_clock_s",
-            "speedup", "compression", "ingest",
+            "speedup", "compression", "ingest", "hop_cost",
         ]
         if metric:
             columns.append(metric)
@@ -181,6 +194,7 @@ def trend_tables(
                 _speedup_cell(payload),
                 _compression_cell(payload),
                 _ingest_cell(payload),
+                _hop_cost_cell(payload),
             ]
             if metric:
                 row.append(_metric_value(payload, metric))

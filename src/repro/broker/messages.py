@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import CodecError
 from repro.broker.codec import ByteReader, ByteWriter
+from repro.matching.digest import MatchDigest
 
 
 class MessageType(enum.IntEnum):
@@ -116,9 +117,19 @@ class BrokerHello:
 
 @dataclass(frozen=True)
 class BrokerEvent:
+    """An event in transit on a spanning tree.
+
+    ``digest`` is the optional match-once forwarding summary (see
+    :mod:`repro.matching.digest`): the matched-subscription set computed at
+    the publisher's broker, which downstream brokers project straight onto
+    their links instead of rematching.  On the wire it is a trailing
+    section, absent when ``None`` — pre-digest payloads decode unchanged.
+    """
+
     root: str
     publisher: str
     event_data: bytes
+    digest: Optional[MatchDigest] = None
 
 
 @dataclass(frozen=True)
@@ -128,11 +139,20 @@ class BrokerEventBatch:
     Emitted when a broker's batched route decides to forward several events
     over the same link: one wire message (and one framing/syscall round)
     carries them all.  ``entries`` are ``(publisher, event_data)`` pairs in
-    arrival order.
+    arrival order.  ``digests`` aligns by index with ``entries`` when
+    non-empty (the empty default means "no entry carries a digest"); on the
+    wire the digest table is a trailing section listing only the entries
+    that have one, so pre-digest payloads decode unchanged.
     """
 
     root: str
     entries: Tuple[Tuple[str, bytes], ...]
+    digests: Tuple[Optional[MatchDigest], ...] = ()
+
+    def digest_for(self, index: int) -> Optional[MatchDigest]:
+        """The digest of entry ``index`` (``None`` when the batch carries no
+        digest table)."""
+        return self.digests[index] if self.digests else None
 
 
 @dataclass(frozen=True)
@@ -214,10 +234,29 @@ def encode_message(message: object) -> bytes:
     elif isinstance(message, BrokerEvent):
         writer.string(message.root).string(message.publisher)
         writer.u32(len(message.event_data)).raw(message.event_data)
+        if message.digest is not None:
+            blob = message.digest.to_bytes()
+            writer.u32(len(blob)).raw(blob)
     elif isinstance(message, BrokerEventBatch):
         writer.string(message.root).u32(len(message.entries))
         for publisher, event_data in message.entries:
             writer.string(publisher).u32(len(event_data)).raw(event_data)
+        if message.digests:
+            if len(message.digests) != len(message.entries):
+                raise CodecError(
+                    f"digest table length {len(message.digests)} does not match "
+                    f"{len(message.entries)} batch entries"
+                )
+            carried = [
+                (index, digest)
+                for index, digest in enumerate(message.digests)
+                if digest is not None
+            ]
+            if carried:
+                writer.u32(len(carried))
+                for index, digest in carried:
+                    blob = digest.to_bytes()
+                    writer.u32(index).u32(len(blob)).raw(blob)
     elif isinstance(message, PublishBatch):
         writer.u32(len(message.events))
         for event_data in message.events:
@@ -251,11 +290,33 @@ def _read_blob(reader: ByteReader) -> bytes:
     return reader._take(length)  # noqa: SLF001 - codec-internal access
 
 
+def _read_digest(reader: ByteReader) -> MatchDigest:
+    return MatchDigest.from_bytes(_read_blob(reader))
+
+
+def _read_broker_event(reader: ByteReader) -> BrokerEvent:
+    root = reader.string()
+    publisher = reader.string()
+    event_data = _read_blob(reader)
+    digest = None if reader.exhausted else _read_digest(reader)
+    return BrokerEvent(root, publisher, event_data, digest)
+
+
 def _read_broker_event_batch(reader: ByteReader) -> BrokerEventBatch:
     root = reader.string()
     count = reader.u32()
     entries = tuple((reader.string(), _read_blob(reader)) for _ in range(count))
-    return BrokerEventBatch(root, entries)
+    if reader.exhausted:
+        return BrokerEventBatch(root, entries)
+    digests: list[Optional[MatchDigest]] = [None] * count
+    for _ in range(reader.u32()):
+        index = reader.u32()
+        if index >= count:
+            raise CodecError(
+                f"digest table references entry {index} of a {count}-entry batch"
+            )
+        digests[index] = _read_digest(reader)
+    return BrokerEventBatch(root, entries, tuple(digests))
 
 
 def _read_publish_batch(reader: ByteReader) -> PublishBatch:
@@ -275,7 +336,7 @@ _DECODERS: Dict[MessageType, Callable[[ByteReader], object]] = {
     MessageType.ACK: lambda r: Ack(r.u64()),
     MessageType.DISCONNECT: lambda r: Disconnect(),
     MessageType.BROKER_HELLO: lambda r: BrokerHello(r.string()),
-    MessageType.BROKER_EVENT: lambda r: BrokerEvent(r.string(), r.string(), _read_blob(r)),
+    MessageType.BROKER_EVENT: _read_broker_event,
     MessageType.BROKER_EVENT_BATCH: _read_broker_event_batch,
     MessageType.PUBLISH_BATCH: _read_publish_batch,
     MessageType.SUB_PROPAGATE: lambda r: SubPropagate(r.u64(), r.string(), r.string(), r.string()),

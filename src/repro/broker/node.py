@@ -37,6 +37,7 @@ from repro.broker import messages as wire
 from repro.broker.event_log import EventLog
 from repro.broker.transport import Connection, Listener, Transport
 from repro.core.router import ContentRouter
+from repro.matching.digest import MatchDigest
 from repro.matching.parser import parse_predicate
 from repro.matching.predicates import Subscription
 from repro.matching.schema import AttributeValue, EventSchema
@@ -168,7 +169,7 @@ class BrokerNode:
         #: drained in batches of up to ``ingest_batch_size`` through the
         #: router's batched matching path.
         self.ingest_batch_size = ingest_batch_size
-        self._ingest: Deque[Tuple[bytes, str, str]] = deque()
+        self._ingest: Deque[Tuple[bytes, str, str, Optional[MatchDigest]]] = deque()
         self._draining = False
         self.events_routed = 0
         self.events_delivered = 0
@@ -181,6 +182,8 @@ class BrokerNode:
         self._obs_unsubscribes = obs.counter("subscriptions_removed", broker=name)
         self._obs_ingest_batches = obs.counter("ingest_batches", broker=name)
         self._obs_coalesced_sends = obs.counter("coalesced_sends", broker=name)
+        self._obs_digest_hits = obs.counter("digest_hits", broker=name)
+        self._obs_digest_fallbacks = obs.counter("digest_fallbacks", broker=name)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -442,7 +445,7 @@ class BrokerNode:
             )
             return
         for event_data in message.events:
-            self._ingest.append((event_data, self.name, client))
+            self._ingest.append((event_data, self.name, client, None))
         self._drain_ingest()
 
     def _handle_ack(self, connection: Connection, message: wire.Ack) -> None:
@@ -525,16 +528,28 @@ class BrokerNode:
 
     def _handle_broker_event(self, message: wire.BrokerEvent) -> None:
         self._enqueue_event(
-            message.event_data, root=message.root, publisher=message.publisher
+            message.event_data,
+            root=message.root,
+            publisher=message.publisher,
+            digest=message.digest,
         )
 
     def _handle_broker_event_batch(self, message: wire.BrokerEventBatch) -> None:
-        for publisher, event_data in message.entries:
-            self._ingest.append((event_data, message.root, publisher))
+        for i, (publisher, event_data) in enumerate(message.entries):
+            self._ingest.append(
+                (event_data, message.root, publisher, message.digest_for(i))
+            )
         self._drain_ingest()
 
-    def _enqueue_event(self, event_data: bytes, *, root: str, publisher: str) -> None:
-        self._ingest.append((event_data, root, publisher))
+    def _enqueue_event(
+        self,
+        event_data: bytes,
+        *,
+        root: str,
+        publisher: str,
+        digest: Optional[MatchDigest] = None,
+    ) -> None:
+        self._ingest.append((event_data, root, publisher, digest))
         self._drain_ingest()
 
     def _drain_ingest(self) -> None:
@@ -553,7 +568,9 @@ class BrokerNode:
         finally:
             self._draining = False
 
-    def _route_entries(self, entries: List[Tuple[bytes, str, str]]) -> None:
+    def _route_entries(
+        self, entries: List[Tuple[bytes, str, str, Optional[MatchDigest]]]
+    ) -> None:
         """Route one ingest batch: batched refinement, coalesced forwarding.
 
         Entries are grouped by spanning-tree root for the router's
@@ -562,35 +579,75 @@ class BrokerNode:
         :class:`~repro.broker.messages.BrokerEventBatch` per root instead of
         one message per event.  Per-event decisions, deliveries and event-log
         appends are identical to the one-at-a-time path.
+
+        Match-once forwarding: digest-less entries route through
+        :meth:`~repro.core.router.ContentRouter.route_digest_batch`, minting
+        a digest the forwards carry; digest-bearing entries convert the
+        digest straight to this node's link mask.  A digest that fails
+        verification (the replicated subscription set diverged — e.g. a
+        subscription still propagating) falls back to a full rematch and is
+        stripped from the forwards.  The epoch/checksum converge without any
+        coordination because subscription flooding applies every add/remove
+        exactly once at every broker.
         """
         from repro.broker.codec import decode_event
 
         self._obs_ingest_batches.inc()
         events = [
             decode_event(self.config.schema, event_data, publisher=publisher)
-            for event_data, _root, publisher in entries
+            for event_data, _root, publisher, _digest in entries
         ]
+        use_digests = self.router.supports_digests
         by_root: Dict[str, List[int]] = {}
-        for i, (_event_data, root, _publisher) in enumerate(entries):
+        for i, (_event_data, root, _publisher, _digest) in enumerate(entries):
             group = by_root.get(root)
             if group is None:
                 by_root[root] = [i]
             else:
                 group.append(i)
         decisions = [None] * len(entries)
+        # The digest each entry's forwards carry (consumed, minted, or None).
+        out_digests: List[Optional[MatchDigest]] = [None] * len(entries)
         for root, indices in by_root.items():
-            routed = self.router.route_batch([events[i] for i in indices], root)
-            for i, decision in zip(indices, routed):
-                decisions[i] = decision
+            plain: List[int] = []
+            for i in indices:
+                digest = entries[i][3]
+                if digest is None or not use_digests:
+                    plain.append(i)
+                    continue
+                try:
+                    decisions[i] = self.router.route_with_digest(
+                        events[i], root, digest
+                    )
+                except RoutingError:
+                    self._obs_digest_fallbacks.inc()
+                    decisions[i] = self.router.route(events[i], root)
+                else:
+                    self._obs_digest_hits.inc()
+                    out_digests[i] = digest
+            if not plain:
+                continue
+            plain_events = [events[i] for i in plain]
+            if use_digests:
+                for i, (decision, digest) in zip(
+                    plain, self.router.route_digest_batch(plain_events, root)
+                ):
+                    decisions[i] = decision
+                    out_digests[i] = digest
+            else:
+                for i, decision in zip(plain, self.router.route_batch(plain_events, root)):
+                    decisions[i] = decision
         self.events_routed += len(entries)
         self._obs_routed.inc(len(entries))
-        # neighbor -> root -> (publisher, event_data) pairs, in batch order.
-        forwards: Dict[str, Dict[str, List[Tuple[str, bytes]]]] = {}
-        for (event_data, root, publisher), decision in zip(entries, decisions):
+        # neighbor -> root -> (publisher, event_data, digest), in batch order.
+        forwards: Dict[str, Dict[str, List[Tuple[str, bytes, Optional[MatchDigest]]]]] = {}
+        for (event_data, root, publisher, _digest), decision, out_digest in zip(
+            entries, decisions, out_digests
+        ):
             assert decision is not None
             for neighbor in decision.forward_to:
                 per_root = forwards.setdefault(neighbor, {})
-                per_root.setdefault(root, []).append((publisher, event_data))
+                per_root.setdefault(root, []).append((publisher, event_data, out_digest))
             for client in decision.deliver_to:
                 self._deliver_to_client(client, event_data)
         for neighbor, per_root in forwards.items():
@@ -599,13 +656,22 @@ class BrokerNode:
                 continue  # neighbor down; the simulator studies this, not the prototype
             for root, batch in per_root.items():
                 if len(batch) == 1:
-                    publisher, event_data = batch[0]
+                    publisher, event_data, digest = batch[0]
                     connection.send(
-                        wire.encode_message(wire.BrokerEvent(root, publisher, event_data))
+                        wire.encode_message(
+                            wire.BrokerEvent(root, publisher, event_data, digest)
+                        )
                     )
                 else:
+                    digests = tuple(digest for _, _, digest in batch)
                     connection.send(
-                        wire.encode_message(wire.BrokerEventBatch(root, tuple(batch)))
+                        wire.encode_message(
+                            wire.BrokerEventBatch(
+                                root,
+                                tuple((p, d) for p, d, _ in batch),
+                                digests if any(d is not None for d in digests) else (),
+                            )
+                        )
                     )
                     self._obs_coalesced_sends.inc()
 

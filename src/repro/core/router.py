@@ -31,6 +31,7 @@ from repro.core.masks import VirtualLinkTable
 from repro.core.trits import TritVector, pack_tritvector, unpack_tritvector
 from repro.matching.base import MatcherEngine
 from repro.matching.compile import CompiledProgram, compile_tree
+from repro.matching.digest import MatchDigest, mix_subscription_id
 from repro.matching.events import Event
 from repro.matching.optimizations import FactoredMatcher
 from repro.matching.pst import MatchResult
@@ -45,9 +46,18 @@ from repro.network.topology import Topology
 class RouteDecision:
     """What a broker decided for one event: neighbors to send to, split into
     next-hop brokers and locally attached clients, plus the matching steps
-    spent deciding."""
+    spent deciding.
 
-    __slots__ = ("broker", "forward_to", "deliver_to", "steps", "mask")
+    ``mask`` is a **snapshot**: its bit positions denote the virtual links
+    of the router's layout *at decision time*, and its refinement reflects
+    the subscription set at decision time.  Any churn (add/remove) or link
+    rebuild after the decision can silently change what the same bits mean,
+    so the decision carries the router's ``subscription_epoch`` it was made
+    under; callers holding a decision across churn must check it with
+    :meth:`assert_current` before reusing the mask.
+    """
+
+    __slots__ = ("broker", "forward_to", "deliver_to", "steps", "mask", "epoch")
 
     def __init__(
         self,
@@ -56,17 +66,30 @@ class RouteDecision:
         deliver_to: List[str],
         steps: int,
         mask: TritVector,
+        epoch: int = 0,
     ) -> None:
         self.broker = broker
         self.forward_to = forward_to
         self.deliver_to = deliver_to
         self.steps = steps
         self.mask = mask
+        self.epoch = epoch
+
+    def assert_current(self, subscription_epoch: int) -> None:
+        """Guard against cross-churn reuse of the mask snapshot: raises
+        :class:`RoutingError` when the router's epoch moved on since this
+        decision was stamped."""
+        if self.epoch != subscription_epoch:
+            raise RoutingError(
+                f"stale RouteDecision: mask snapshot from epoch {self.epoch}, "
+                f"router is at epoch {subscription_epoch} — re-route the event"
+            )
 
     def __repr__(self) -> str:
         return (
             f"RouteDecision({self.broker!r} -> brokers {self.forward_to!r}, "
-            f"clients {self.deliver_to!r}, {self.steps} steps)"
+            f"clients {self.deliver_to!r}, {self.steps} steps, "
+            f"epoch {self.epoch})"
         )
 
 
@@ -156,6 +179,13 @@ class ContentRouter:
         self._annotations: Dict[int, Tuple[TreeAnnotation, LinkMatcher]] = {}
         self._programs: Dict[int, CompiledProgram] = {}
         self._dirty = True
+        # Subscription-set epoch: a monotonic version counter over this
+        # router's subscription set and link layout, plus an order-independent
+        # checksum of the registered subscription ids.  Together they tag
+        # match digests (see route_digest) so a consumer can detect that the
+        # minting set is not its own and fall back to full matching.
+        self.subscription_epoch = 0
+        self._subscription_checksum = 0
         # Observability (no-ops unless the global registry is enabled): route
         # invocations and PST node visits (= matching steps) per broker.
         registry = get_registry()
@@ -164,6 +194,7 @@ class ContentRouter:
         self._obs_forwards = registry.counter("router.forwards", broker=broker)
         self._obs_deliveries = registry.counter("router.local_deliveries", broker=broker)
         self._obs_refreshes = registry.counter("router.annotation_refreshes", broker=broker)
+        self._obs_epoch = registry.gauge("router.subscription_epoch", broker=broker)
 
     # ------------------------------------------------------------------
     # Subscription maintenance
@@ -184,12 +215,35 @@ class ContentRouter:
         self.matcher.insert(subscription)
         if self._factored is not None:
             self._dirty = True
+        self._bump_epoch(subscription.subscription_id)
 
     def remove_subscription(self, subscription_id: int) -> Subscription:
         subscription = self.matcher.remove(subscription_id)
         if self._factored is not None:
             self._dirty = True
+        self._bump_epoch(subscription_id)
         return subscription
+
+    def _bump_epoch(self, subscription_id: Optional[int] = None) -> None:
+        self.subscription_epoch += 1
+        if subscription_id is not None:
+            # XOR of mixed ids: add-then-remove restores the old checksum,
+            # and two routers agree iff they folded the same id multiset.
+            self._subscription_checksum ^= mix_subscription_id(subscription_id)
+        self._obs_epoch.set(self.subscription_epoch)
+
+    def sync_epoch(self, epoch: int) -> None:
+        """Fast-forward the epoch counter to a protocol-chosen value.
+
+        :class:`~repro.protocols.link_matching.LinkMatchingProtocol` keeps
+        all brokers' epoch counters in lockstep (they hold replicas of one
+        subscription set) by syncing them after every protocol-level
+        mutation; monotonic, so an in-flight digest minted before the sync
+        can never be mistaken for current.
+        """
+        if epoch > self.subscription_epoch:
+            self.subscription_epoch = epoch
+            self._obs_epoch.set(epoch)
 
     @property
     def subscription_count(self) -> int:
@@ -231,6 +285,10 @@ class ContentRouter:
             self._engine.bind_links(self.links.num_links, self._link_of_subscriber)
         if self._factored is not None:
             self._dirty = True
+        # The layout changed: the same mask bits now denote different
+        # links, so digests minted (and decisions stamped) before the
+        # rebuild must not be trusted against this router anymore.
+        self._bump_epoch()
         return True
 
     def _refresh_annotations(self) -> None:
@@ -374,7 +432,108 @@ class ContentRouter:
         self._obs_steps.inc(final.steps)
         self._obs_forwards.inc(len(forward_to))
         self._obs_deliveries.inc(len(deliver_to))
-        return RouteDecision(self.broker, forward_to, deliver_to, final.steps, final.mask)
+        return RouteDecision(
+            self.broker,
+            forward_to,
+            deliver_to,
+            final.steps,
+            final.mask,
+            self.subscription_epoch,
+        )
+
+    # ------------------------------------------------------------------
+    # Match-once forwarding (digest minting and consumption)
+
+    @property
+    def supports_digests(self) -> bool:
+        """Whether this router can mint and consume match digests.
+
+        The factored matcher splits subscriptions across sub-trees before
+        any engine sees them and has no projection surface; factored
+        routers route every message the classic way.
+        """
+        return self._factored is None
+
+    def route_digest(
+        self, event: Event, tree_root: str
+    ) -> Tuple[RouteDecision, Optional[MatchDigest]]:
+        """Route like :meth:`route` *and* mint a :class:`MatchDigest`.
+
+        Runs the full (non-trit) match once, takes the sorted matched
+        subscription ids as the digest, and derives this broker's own mask
+        by projecting those ids through the engine's leaf→link-bits table —
+        the same projection every downstream hop will run, so the origin's
+        decision and the consumers' decisions come from one computation.
+        Falls back to plain :meth:`route` (returning no digest) on the
+        factored path.
+        """
+        if self._factored is not None:
+            return self.route(event, tree_root), None
+        self._check_domains(event)
+        assert self._engine is not None
+        local = self._engine.match(event)
+        ids = sorted(s.subscription_id for s in local.subscriptions)
+        final = self._project_final(ids, tree_root, local.steps)
+        return self._decision_for(final), self._mint(ids)
+
+    def route_digest_batch(
+        self, events: Sequence[Event], tree_root: str
+    ) -> List[Tuple[RouteDecision, Optional[MatchDigest]]]:
+        """Batch form of :meth:`route_digest` (same per-event results); the
+        full match rides the engine's deduplicating batch kernel."""
+        if not events:
+            return []
+        if self._factored is not None:
+            return [(decision, None) for decision in self.route_batch(events, tree_root)]
+        for event in events:
+            self._check_domains(event)
+        assert self._engine is not None
+        out: List[Tuple[RouteDecision, Optional[MatchDigest]]] = []
+        for local in self._engine.match_batch(events):
+            ids = sorted(s.subscription_id for s in local.subscriptions)
+            final = self._project_final(ids, tree_root, local.steps)
+            out.append((self._decision_for(final), self._mint(ids)))
+        return out
+
+    def route_with_digest(
+        self, event: Event, tree_root: str, digest: MatchDigest
+    ) -> RouteDecision:
+        """Convert an in-flight digest straight into this broker's link mask
+        — O(|matched|) ORs instead of a refinement descent.
+
+        Raises :class:`RoutingError` when the digest cannot be trusted
+        here: minted under a different epoch or subscription-set checksum,
+        naming ids this broker does not hold, or on a factored router.
+        Callers fall back to full matching.
+        """
+        if self._factored is not None:
+            raise RoutingError("factored routers cannot consume match digests")
+        self._check_domains(event)
+        if digest.epoch != self.subscription_epoch or (
+            digest.checksum != self._subscription_checksum
+        ):
+            raise RoutingError(
+                f"match digest epoch {digest.epoch} does not match router "
+                f"epoch {self.subscription_epoch} at {self.broker!r} — "
+                f"subscription sets may have diverged"
+            )
+        final = self._project_final(digest.ids, tree_root, 0)
+        return self._decision_for(final)
+
+    def _mint(self, ids: Sequence[int]) -> MatchDigest:
+        return MatchDigest(self.subscription_epoch, self._subscription_checksum, ids)
+
+    def _project_final(
+        self, ids: Sequence[int], tree_root: str, base_steps: int
+    ) -> LinkMatchResult:
+        assert self._engine is not None
+        mask = self.links.initialization_mask(tree_root)
+        yes_bits, maybe_bits = pack_tritvector(mask)
+        final_yes, steps = self._engine.project_links(ids, yes_bits, maybe_bits)
+        return LinkMatchResult(
+            unpack_tritvector(final_yes, 0, self.links.num_links),
+            base_steps + steps,
+        )
 
     def _check_domains(self, event: Event) -> None:
         if not self.domains:

@@ -381,6 +381,7 @@ class AggregatingEngine(MatcherEngine):
             self._group_of[subscription_id] = group
             self._attach(group)
         self._repair_descent_cache(group)
+        self._invalidate_link_projection()
         self._update_gauges()
 
     def remove(self, subscription_id: int) -> Subscription:
@@ -394,6 +395,7 @@ class AggregatingEngine(MatcherEngine):
         else:
             self._dissolve(group)
         self._repair_descent_cache(group)
+        self._invalidate_link_projection()
         self._update_gauges()
         return subscription
 
@@ -788,7 +790,15 @@ class AggregatingEngine(MatcherEngine):
         self._link_of = link_of_subscriber
         # Cached entries may carry link bits memoized under the old binding.
         self._descent_cache.flush()
+        self._invalidate_link_projection()
         self.inner.bind_links(num_links, self._links_of_representative)
+
+    def _projection_link_of(self) -> Optional[LinkOfSubscriber]:
+        """Digest projection maps *member* subscription ids (the globally
+        stable identity digests carry) through the outer link mapping — the
+        inner binding only knows per-broker representative ids, which are
+        not stable across brokers."""
+        return self._link_of
 
     def _links_of_representative(
         self, representative: Subscription

@@ -10,8 +10,19 @@ and gives a single place to explain the semantics.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Callable, Iterable, List, Sequence, TypeVar
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
+from repro.errors import RoutingError
 from repro.matching.events import Event
 from repro.matching.pst import MatchResult
 from repro.matching.predicates import Subscription
@@ -143,6 +154,97 @@ class MatcherEngine(Matcher):
         return per_event_loop(
             lambda event: self.match_links(event, initialization_mask), events
         )
+
+    # ------------------------------------------------------------------
+    # Digest projection (match-once forwarding)
+
+    #: Lazily built ``subscription_id -> packed link bits`` table; ``None``
+    #: means stale.  Class-level default so engines need no ``__init__``
+    #: cooperation; instance assignment shadows it.
+    _link_projection: Optional[Dict[int, int]] = None
+
+    def _invalidate_link_projection(self) -> None:
+        """Drop the projection table.  Engines call this whenever the
+        subscription set or the link binding changes (insert/remove/
+        bind_links) — a stale table would project onto pre-churn links."""
+        self._link_projection = None
+
+    def _projection_link_of(self) -> "Optional[LinkOfSubscriber]":
+        """The subscription→link mapping the projection table is built from
+        (the one handed to :meth:`bind_links`); ``None`` before binding.
+        The aggregating engine overrides this: its inner binding maps
+        *representatives* to link unions, while digests carry member ids."""
+        return getattr(self, "_link_of_subscriber", None)
+
+    def _link_projection_table(self) -> Dict[int, int]:
+        table = self._link_projection
+        if table is None:
+            link_of = self._projection_link_of()
+            if link_of is None:
+                raise RoutingError(
+                    f"{type(self).__name__}.project_links() requires a prior "
+                    f"bind_links()"
+                )
+            table = {}
+            for subscription in self.subscriptions:
+                mapped = link_of(subscription)
+                positions = (mapped,) if isinstance(mapped, int) else mapped
+                bits = 0
+                for position in positions:
+                    if position >= 0:
+                        bits |= 1 << position
+                table[subscription.subscription_id] = bits
+            self._link_projection = table
+        return table
+
+    def project_links(
+        self, subscription_ids: Sequence[int], yes_bits: int, maybe_bits: int
+    ) -> Tuple[int, int]:
+        """Refine a packed initialization mask from a match digest: one OR
+        per matched subscription over the precomputed leaf→link-bits table,
+        instead of a full refinement descent.
+
+        ``subscription_ids`` is the digest's matched set; the result
+        ``(final_yes_bits, steps)`` is bit-identical to
+        :meth:`match_links`'s fully refined mask *for the same subscription
+        set*: a link ends up Yes iff it started Yes, or started Maybe and
+        carries at least one matched subscription — exactly the refinement
+        search's fixpoint.  Raises :class:`RoutingError` for ids this engine
+        does not hold (the caller must fall back to full matching; the sets
+        have diverged).
+
+        ``CompiledEngine`` overrides this with a projection over the
+        compiled program's packed leaf-annotation columns (one OR per
+        matched *leaf*); this generic form pays one OR per matched
+        subscription from a per-id table and works on every engine.
+        """
+        table = self._link_projection_table()
+        bits = 0
+        steps = 0
+        for subscription_id in subscription_ids:
+            entry = table.get(subscription_id)
+            if entry is None:
+                raise RoutingError(
+                    f"digest names subscription #{subscription_id}, which this "
+                    f"engine does not hold — subscription sets have diverged"
+                )
+            bits |= entry
+            steps += 1
+        self._project_links_counter().inc()
+        return yes_bits | (maybe_bits & bits), steps
+
+    def _project_links_counter(self):
+        """The ``engine.project_links_calls`` counter, fetched lazily (this
+        base class has no ``__init__`` to fetch it in) and cached."""
+        counter = getattr(self, "_obs_project_links", None)
+        if counter is None:
+            from repro.obs import get_registry
+
+            counter = get_registry().counter(
+                "engine.project_links_calls", engine=self.name
+            )
+            self._obs_project_links = counter
+        return counter
 
 
 # ParallelSearchTree satisfies the interface structurally; register it so

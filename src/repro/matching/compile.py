@@ -262,6 +262,9 @@ class CompiledProgram:
         "_tested_sorted",
         "match_cache",
         "link_cache",
+        # digest projection (subscription id -> live leaf index)
+        "_sub_leaf",
+        "_sub_leaf_generation",
     )
 
     def __init__(
@@ -332,6 +335,8 @@ class CompiledProgram:
         self.link_cache: Optional[ProjectionCache] = (
             ProjectionCache(cache_capacity, kind="links") if cache_capacity > 0 else None
         )
+        self._sub_leaf: Optional[Dict[int, int]] = None
+        self._sub_leaf_generation = -1
         self._ensure_index(tree.root)
 
     # ------------------------------------------------------------------
@@ -770,6 +775,92 @@ class CompiledProgram:
                 for i in pending[key]:
                     results[i] = result
         return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Digest projection (match-once forwarding)
+
+    def _sub_leaf_map(self) -> Dict[int, int]:
+        """The stable ``subscription_id -> live leaf index`` mapping.
+
+        Built by walking the live node graph from the root (``subs_flat``
+        alone is unusable: patches orphan superseded leaf slices, whose
+        entries must not shadow the live ones) and keyed on
+        :attr:`generation`, so every patch or re-annotation rebuilds it
+        lazily on next use.
+        """
+        if self._sub_leaf is not None and self._sub_leaf_generation == self.generation:
+            return self._sub_leaf
+        mapping: Dict[int, int] = {}
+        stack = [0]
+        seen = set()
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            if self.event_pos[index] < 0:
+                for subscription in self.subs_flat[
+                    self.sub_start[index] : self.sub_end[index]
+                ]:
+                    mapping[subscription.subscription_id] = index
+                continue
+            table = self.value_tables[index]
+            if table is not None:
+                stack.extend(table.values())
+            stack.extend(
+                self.range_children[self.range_start[index] : self.range_end[index]]
+            )
+            if self.star[index] >= 0:
+                stack.append(self.star[index])
+        self._sub_leaf = mapping
+        self._sub_leaf_generation = self.generation
+        return mapping
+
+    def project_links(
+        self, subscription_ids: Sequence[int], yes_bits: int, maybe_bits: int
+    ) -> Tuple[int, int]:
+        """Project a match digest straight onto this program's packed
+        leaf-annotation columns: one OR per matched *leaf*.
+
+        Subscriptions sharing a leaf have identical predicates, so a digest
+        that names one names them all — deduplicating by leaf and ORing the
+        leaf's :attr:`ann_yes` column is exact, and cheaper than a
+        per-subscription table when leaves are shared.  Returns
+        ``(final_yes_bits, steps)`` where ``steps`` counts the leaf ORs;
+        the result equals :meth:`match_links`'s fully refined mask for any
+        event whose matched set is exactly ``subscription_ids``.  Raises
+        :class:`RoutingError` for unknown ids (diverged subscription sets —
+        the caller must fall back to full matching).
+        """
+        if not self.annotated:
+            raise RoutingError("program has no link annotations — call annotate()")
+        mapping = self._sub_leaf_map()
+        ann_yes = self.ann_yes
+        bits = 0
+        steps = 0
+        seen_leaf = -1
+        seen: Optional[set] = None
+        for subscription_id in subscription_ids:
+            leaf = mapping.get(subscription_id)
+            if leaf is None:
+                raise RoutingError(
+                    f"digest names subscription #{subscription_id}, which this "
+                    f"program does not hold — subscription sets have diverged"
+                )
+            # Digest ids are sorted, and leaf co-residents are inserted
+            # adjacently more often than not — a last-leaf fast path plus a
+            # lazily allocated seen-set dedupes without hashing every id.
+            if leaf == seen_leaf:
+                continue
+            if seen is None:
+                seen = {seen_leaf} if seen_leaf >= 0 else set()
+            elif leaf in seen:
+                continue
+            seen.add(leaf)
+            seen_leaf = leaf
+            bits |= ann_yes[leaf]
+            steps += 1
+        return yes_bits | (maybe_bits & bits), steps
 
     # ------------------------------------------------------------------
     # Incremental recompilation

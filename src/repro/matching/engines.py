@@ -141,10 +141,12 @@ class TreeEngine(_EngineBase):
     def insert(self, subscription: Subscription) -> None:
         self.tree.insert(subscription)
         self._patch_annotation(subscription)
+        self._invalidate_link_projection()
 
     def remove(self, subscription_id: int) -> Subscription:
         subscription = self.tree.remove(subscription_id)
         self._patch_annotation(subscription)
+        self._invalidate_link_projection()
         return subscription
 
     def _patch_annotation(self, subscription: Subscription) -> None:
@@ -164,6 +166,7 @@ class TreeEngine(_EngineBase):
         self._link_of_subscriber = link_of_subscriber
         self._annotation = None
         self._link_matcher = None
+        self._invalidate_link_projection()
 
     def match_links(
         self, event: Event, initialization_mask: TritVector
@@ -373,6 +376,18 @@ class CompiledEngine(_EngineBase):
             LinkMatchResult(unpack_tritvector(final_yes, 0, num_links), steps)
             for final_yes, steps in packed
         ]
+
+    def project_links(
+        self, subscription_ids: Sequence[int], yes_bits: int, maybe_bits: int
+    ) -> "tuple[int, int]":
+        """Digest projection over the compiled program's packed leaf
+        annotations (one OR per matched leaf) — see
+        :meth:`CompiledProgram.project_links` for the exactness argument."""
+        num_links = self._require_links()
+        program = self._annotated_program(num_links)
+        result = program.project_links(subscription_ids, yes_bits, maybe_bits)
+        self._project_links_counter().inc()
+        return result
 
 
 def create_engine(

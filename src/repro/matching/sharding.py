@@ -364,6 +364,7 @@ class ShardedEngine(MatcherEngine):
         self._owner[subscription_id] = index
         self._node_estimates[index] += self._growth_estimate(subscription)
         self._repair_shard(index, subscription)
+        self._invalidate_link_projection()
         self._after_mutation()
 
     def remove(self, subscription_id: int) -> Subscription:
@@ -375,6 +376,7 @@ class ShardedEngine(MatcherEngine):
             1, self._node_estimates[index] - self._growth_estimate(subscription)
         )
         self._repair_shard(index, subscription)
+        self._invalidate_link_projection()
         self._after_mutation()
         return subscription
 
@@ -684,6 +686,7 @@ class ShardedEngine(MatcherEngine):
     def bind_links(self, num_links: int, link_of_subscriber: LinkOfSubscriber) -> None:
         self._num_links = num_links
         self._link_of_subscriber = link_of_subscriber
+        self._invalidate_link_projection()
         for shard in self._shards:
             shard.bind_links(num_links, link_of_subscriber)
             # A new annotation invalidates every cached link answer.

@@ -18,6 +18,7 @@ import itertools
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
+from repro.matching.digest import MatchDigest
 from repro.matching.events import Event
 from repro.matching.predicates import Subscription
 from repro.matching.schema import AttributeValue, EventSchema
@@ -73,7 +74,10 @@ class SimMessage:
     replayed copy of a message lost to a failure: the set of destinations the
     failed element was responsible for, which restricts routing at every hop
     so already-served subtrees are not traversed again (see
-    :mod:`repro.sim.faults`).
+    :mod:`repro.sim.faults`).  ``digest`` is the optional match-once
+    forwarding summary minted by the publisher's broker (see
+    :class:`~repro.matching.digest.MatchDigest`); ``None`` means classic
+    per-hop matching — fully backward compatible.
     """
 
     __slots__ = (
@@ -84,6 +88,7 @@ class SimMessage:
         "publish_time_ticks",
         "hop",
         "replay_for",
+        "digest",
     )
 
     def __init__(
@@ -95,6 +100,7 @@ class SimMessage:
         publish_time_ticks: int = 0,
         hop: int = 0,
         replay_for: Optional[FrozenSet[str]] = None,
+        digest: Optional[MatchDigest] = None,
     ) -> None:
         self.message_id = next(_message_ids)
         self.event = event
@@ -103,9 +109,11 @@ class SimMessage:
         self.publish_time_ticks = publish_time_ticks
         self.hop = hop
         self.replay_for = replay_for
+        self.digest = digest
 
     def forwarded(self, *, destinations: Optional[Tuple[str, ...]] = None) -> "SimMessage":
-        """A copy to send one hop further (a replay restriction rides along)."""
+        """A copy to send one hop further (a replay restriction and any
+        match digest ride along)."""
         return SimMessage(
             self.event,
             self.root,
@@ -113,6 +121,7 @@ class SimMessage:
             publish_time_ticks=self.publish_time_ticks,
             hop=self.hop + 1,
             replay_for=self.replay_for,
+            digest=self.digest,
         )
 
     @property
@@ -136,11 +145,17 @@ class SimMessage:
         cost the paper says "makes the approach impractical" at thousands of
         subscribers.
         """
-        return (
+        size = (
             self.BASE_HEADER_BYTES
             + self.BYTES_PER_VALUE * len(self.event.schema)
             + self.BYTES_PER_DESTINATION * self.header_entries
         )
+        if self.digest is not None:
+            # Match-once forwarding is not free on the wire: the digest's
+            # encoded size (id list or dense bitmap, whichever is smaller)
+            # is charged so bandwidth comparisons stay honest.
+            size += self.digest.encoded_size_bytes
+        return size
 
     def __repr__(self) -> str:
         return (

@@ -8,6 +8,7 @@ from repro.broker import decode_event, decode_message, encode_event, encode_mess
 from repro.broker import messages as wire
 from repro.errors import CodecError
 from repro.matching import Event, EventSchema
+from repro.matching.digest import MatchDigest
 
 import pytest
 
@@ -58,6 +59,32 @@ class TestEventCodec:
             decode_event(SCHEMA, data + trailing)
 
 
+# Sorted unique id sets spanning both wire encodings: wide spans stay an id
+# list, tight clusters cross over to the packed bitmap.
+_id_sets = st.one_of(
+    st.lists(st.integers(min_value=0, max_value=2**40), unique=True, max_size=12),
+    st.lists(st.integers(min_value=1000, max_value=1100), unique=True, max_size=40),
+).map(lambda ids: tuple(sorted(ids)))
+
+digests = st.builds(MatchDigest, epoch=u64, checksum=u64, ids=_id_sets)
+
+
+@st.composite
+def broker_event_batches(draw):
+    """Entries plus an index-aligned digest table (canonical form: the empty
+    tuple whenever no entry carries a digest, matching the decoder)."""
+    entries = tuple(
+        draw(st.lists(st.tuples(safe_text, st.binary(max_size=200)), max_size=8))
+    )
+    aligned = tuple(
+        draw(st.one_of(st.none(), digests)) for _ in entries
+    )
+    root = draw(safe_text)
+    if any(digest is not None for digest in aligned):
+        return wire.BrokerEventBatch(root, entries, aligned)
+    return wire.BrokerEventBatch(root, entries)
+
+
 messages = st.one_of(
     st.builds(wire.Connect, client_name=safe_text.filter(bool), last_seq=u64),
     st.builds(wire.ConnAck, broker_name=safe_text, backlog=u32),
@@ -73,14 +100,9 @@ messages = st.one_of(
     st.builds(
         wire.BrokerEvent, root=safe_text, publisher=safe_text,
         event_data=st.binary(max_size=500),
+        digest=st.one_of(st.none(), digests),
     ),
-    st.builds(
-        wire.BrokerEventBatch,
-        root=safe_text,
-        entries=st.lists(
-            st.tuples(safe_text, st.binary(max_size=200)), max_size=8
-        ).map(tuple),
-    ),
+    broker_event_batches(),
     st.builds(
         wire.PublishBatch,
         events=st.lists(st.binary(max_size=200), max_size=8).map(tuple),
@@ -110,9 +132,19 @@ class TestMessageCodec:
                 decoded = decode_message(data[:cut])
             except CodecError:
                 continue
-            # The only prefix allowed to decode is one that equals the whole
-            # message (possible when trailing fields are empty strings).
-            assert decoded == message and cut == len(data)
+            # The only prefixes allowed to decode are (a) one that equals the
+            # whole message (possible when trailing fields are empty strings)
+            # and (b) the digest-stripped projection of a digest-bearing
+            # broker event — the digest is an *optional trailing section*, so
+            # a cut at the classic-field boundary decodes as a digest-less
+            # message.  That is semantically safe (the digest is a pure
+            # optimization; losing it means the next hop rematches), and the
+            # transports length-frame every payload so such cuts never occur
+            # on a real wire.
+            if decoded == message:
+                assert cut == len(data)
+            else:
+                assert decoded == _without_digests(message)
 
     @given(junk=st.binary(min_size=0, max_size=64))
     @settings(max_examples=200)
@@ -121,3 +153,41 @@ class TestMessageCodec:
             decode_message(junk)
         except CodecError:
             pass  # rejection is the expected path
+
+
+def _without_digests(message):
+    """The digest-stripped projection of a broker event message."""
+    if isinstance(message, wire.BrokerEvent):
+        return wire.BrokerEvent(message.root, message.publisher, message.event_data)
+    if isinstance(message, wire.BrokerEventBatch):
+        return wire.BrokerEventBatch(message.root, message.entries)
+    return message
+
+
+class TestMatchDigestCodec:
+    @given(digest=digests)
+    @settings(max_examples=300)
+    def test_roundtrip(self, digest):
+        assert MatchDigest.from_bytes(digest.to_bytes()) == digest
+
+    @given(digest=digests)
+    @settings(max_examples=60)
+    def test_truncation_always_detected(self, digest):
+        data = digest.to_bytes()
+        for cut in range(len(data)):
+            with pytest.raises(CodecError):
+                MatchDigest.from_bytes(data[:cut])
+
+    @given(digest=digests)
+    @settings(max_examples=100)
+    def test_encoded_size_is_exact(self, digest):
+        assert digest.encoded_size_bytes == len(digest.to_bytes())
+
+    @given(digest=digests)
+    @settings(max_examples=100)
+    def test_dense_form_is_never_larger(self, digest):
+        sparse_size = 17 + 4 + 8 * len(digest.ids)
+        if digest.dense:
+            assert len(digest.to_bytes()) < sparse_size
+        else:
+            assert len(digest.to_bytes()) == sparse_size
